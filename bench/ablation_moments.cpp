@@ -1,0 +1,43 @@
+// Ablation: the wavelet method's moment order p (§3.2.1). The paper chose
+// p = 2 ("we found p = 2 to be effective"); this sweep shows the
+// accuracy/sparsity/solve-count trade-off behind that choice, on both a
+// layout where wavelets work (regular) and one where they fail
+// (alternating sizes).
+#include "common.hpp"
+#include "geometry/moments.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+namespace {
+
+void sweep(const char* name, const Layout& layout) {
+  const SurfaceSolver solver(layout, bench_stack());
+  const QuadTree tree(layout);
+  const Matrix g = extract_dense(solver);
+  std::printf("-- %s (n = %zu) --\n", name, layout.n_contacts());
+  Table table({"p", "moments", "max rel err", "frac > 10%", "sparsity G_ws", "solves"});
+  for (const int p : {0, 1, 2, 3}) {
+    const WaveletBasis basis(tree, p);
+    solver.reset_solve_count();
+    const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
+    const ErrorStats err = reconstruction_error(basis.q(), ex.gws, g);
+    table.add_row({std::to_string(p), std::to_string(moment_count(p)),
+                   Table::pct(err.max_rel_error, 2), Table::pct(err.frac_above_10pct, 2),
+                   Table::fixed(ex.gws.sparsity_factor(), 2), std::to_string(ex.solves)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)full_mode(argc, argv);
+  std::printf("Ablation — wavelet moment order p (paper default: p = 2)\n\n");
+  sweep("regular grid", regular_grid_layout(16));
+  sweep("alternating sizes", alternating_size_layout(16));
+  std::printf("expected shape: on the regular grid, accuracy improves sharply\n"
+              "up to p = 2 and the extra solves stop paying beyond it; no p\n"
+              "rescues the alternating-size layout (the Ch. 4 motivation).\n");
+  return 0;
+}

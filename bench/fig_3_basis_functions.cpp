@@ -1,0 +1,76 @@
+// Reproduces Figs. 3-1 through 3-4: the standard contact-voltage basis, the
+// transformed (vanishing-moment) basis on the finest level, and the
+// recombined basis on the next-coarser level, rendered as ASCII voltage
+// maps ('+' = positive, '-' = negative, '.' = zero volts, ' ' = no contact).
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+namespace {
+
+// Renders the voltage function of a basis column over a square's panels.
+void render(const Layout& layout, const QuadTree& tree, const Vector& col, const SquareId& s) {
+  const int side = static_cast<int>(layout.panels_x()) >> s.level;
+  const int x0 = s.ix * side, y0 = s.iy * side;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) vmax = std::max(vmax, std::abs(col[i]));
+  (void)tree;
+  for (int y = y0; y < y0 + side; ++y) {
+    for (int x = x0; x < x0 + side; ++x) {
+      const int owner = layout.panel_owner(static_cast<std::size_t>(x),
+                                           static_cast<std::size_t>(y));
+      if (owner < 0) {
+        std::printf(" ");
+        continue;
+      }
+      const double v = col[static_cast<std::size_t>(owner)];
+      std::printf("%c", std::abs(v) < 1e-9 * vmax ? '.' : (v > 0 ? '+' : '-'));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 64 contacts; cap the quadtree at level 2 so finest squares hold a 2x2
+  // quad of contacts, matching the four-contact groups of Figs. 3-1/3-2.
+  const Layout layout = regular_grid_layout(8);
+  const QuadTree tree(layout, 2);
+  const WaveletBasis basis(tree, /*p=*/0);  // zeroth-moment balancing (§3.1)
+
+  const SquareId fine{2, 1, 1};
+  std::printf("Fig. 3-1 — standard basis: 1 V on one contact of the quad\n\n");
+  {
+    Vector e(layout.n_contacts());
+    e[tree.contacts_in(fine).front()] = 1.0;
+    render(layout, tree, e, fine);
+  }
+
+  std::printf("Fig. 3-2 — transformed basis: balanced (vanishing-moment) functions\n\n");
+  for (const std::size_t j : basis.w_columns(fine)) {
+    render(layout, tree, basis.column_vector(j), fine);
+  }
+
+  const SquareId coarse{1, 0, 0};
+  std::printf("Fig. 3-3 — leftover all-one functions pushed up: V of a child square\n\n");
+  {
+    const SquareBasis& sb = basis.square_basis(SquareId{2, 0, 0});
+    Vector v(layout.n_contacts());
+    for (std::size_t i = 0; i < sb.contacts.size(); ++i) v[sb.contacts[i]] = sb.v(i, 0);
+    render(layout, tree, v, coarse);
+  }
+
+  std::printf("Fig. 3-4 — recombined balanced functions on the coarser level\n\n");
+  for (const std::size_t j : basis.w_columns(coarse)) {
+    render(layout, tree, basis.column_vector(j), coarse);
+  }
+
+  std::printf("note: three of each four-dimensional space balance to zero net\n"
+              "voltage; one all-positive function per square is pushed up (§3.1).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates the contact-layout figures (3-6, 3-7, 3-8, 4-1, 4-8, 4-10) as
+// ASCII art on stdout and PGM images under bench_output/.
+#include <filesystem>
+
+#include "common.hpp"
+#include "util/plot.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+namespace {
+
+void emit(const std::string& fig, const std::string& title, const Layout& layout) {
+  std::printf("== %s: %s ==\n%s", fig.c_str(), title.c_str(), layout.ascii().c_str());
+  std::printf("contacts: %zu\n\n", layout.n_contacts());
+
+  // PGM: 4x upscaled occupancy map (white background, black contacts).
+  const std::size_t scale = 4;
+  const std::size_t rows = layout.panels_y() * scale, cols = layout.panels_x() * scale;
+  std::vector<unsigned char> px(rows * cols, 255);
+  for (std::size_t y = 0; y < layout.panels_y(); ++y)
+    for (std::size_t x = 0; x < layout.panels_x(); ++x)
+      if (layout.panel_owner(x, y) >= 0)
+        for (std::size_t dy = 0; dy < scale; ++dy)
+          for (std::size_t dx = 0; dx < scale; ++dx)
+            px[(y * scale + dy) * cols + x * scale + dx] = 0;
+  const std::string path = "bench_output/" + fig + "_layout.pgm";
+  write_pgm(path, rows, cols, px);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  std::filesystem::create_directories("bench_output");
+  emit("fig_3_6", "regular contact layout (Examples 1a/1b)", regular_grid_layout(16));
+  emit("fig_3_7", "same-size contacts, irregular placement (Example 2)",
+       irregular_layout(16, 0.55, 20240602));
+  emit("fig_3_8", "alternating-size contact layout (Ch.3 Ex.3)", alternating_size_layout(16));
+  emit("fig_4_1", "simple example contact layout", simple_six_layout());
+  emit("fig_4_8", "mixed shapes: squares, strips, rings (Ch.4 Ex.3)",
+       mixed_shapes_layout(16, 4257));
+  emit("fig_4_10", "large mixed fields (Example 5, scaled)",
+       large_mixed_layout(full ? 64 : 16, 0.8, 31415));
+  return 0;
+}

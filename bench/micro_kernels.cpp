@@ -1,0 +1,110 @@
+// Microkernel throughput (google-benchmark): the computational primitives
+// every experiment stands on — FFT/DCT, small SVDs, the fast Poisson solve,
+// one black-box substrate solve, and one apply of the phase-1 low-rank
+// representation.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "linalg/svd.hpp"
+#include "transform/dct.hpp"
+#include "transform/fft.hpp"
+#include "transform/poisson.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+namespace {
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    auto y = x;
+    fft(y);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Dct2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto _ : state) {
+    auto b = a;
+    dct2_2d(b, n, n);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(n * n));
+}
+BENCHMARK(BM_Dct2d)->Arg(64)->Arg(128);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix a(m, 27);  // the shape of a sampled interaction block
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  for (auto _ : state) {
+    const Svd s = svd(a);
+    benchmark::DoNotOptimize(s.sigma[0]);
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(32)->Arg(64);
+
+void BM_FastPoissonSolve(benchmark::State& state) {
+  PoissonGrid g;
+  g.nx = g.ny = 64;
+  g.nz = 20;
+  g.lateral_g.assign(g.nz, 1.0);
+  g.vertical_g.assign(g.nz - 1, 1.0);
+  g.top_g = 0.25;
+  const FastPoisson3D fp(g);
+  Rng rng(4);
+  Vector b(g.size());
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    const Vector x = fp.solve(b);
+    benchmark::DoNotOptimize(x[0]);
+  }
+}
+BENCHMARK(BM_FastPoissonSolve);
+
+struct SolveFixtureState {
+  Layout layout = regular_grid_layout(16);
+  SurfaceSolver solver{layout, bench_stack()};
+};
+
+void BM_SurfaceSolve(benchmark::State& state) {
+  static SolveFixtureState fx;
+  Rng rng(5);
+  Vector v(fx.layout.n_contacts());
+  for (auto& x : v) x = rng.normal();
+  for (auto _ : state) {
+    const Vector i = fx.solver.solve(v);
+    benchmark::DoNotOptimize(i[0]);
+  }
+}
+BENCHMARK(BM_SurfaceSolve);
+
+void BM_RowBasisApply(benchmark::State& state) {
+  static SolveFixtureState fx;
+  static const QuadTree tree(fx.layout);
+  static const RowBasisRep rep(fx.solver, tree);
+  Rng rng(6);
+  Vector v(fx.layout.n_contacts());
+  for (auto& x : v) x = rng.normal();
+  for (auto _ : state) {
+    const Vector i = rep.apply(v);
+    benchmark::DoNotOptimize(i[0]);
+  }
+}
+BENCHMARK(BM_RowBasisApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Reproduces Table 2.1: effectiveness of the fast-solver preconditioners for
+// the finite-difference substrate solver (average PCG iterations per solve).
+//
+// Paper values: pure-Dirichlet 22.2, pure-Neumann 7.9, area-weighted 6.8;
+// incomplete Cholesky was reported as needing "hundreds of iterations".
+// The expected *shape*: area-weighted <= Neumann << Dirichlet << IC(0).
+#include "common.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const Layout layout = example_regular_fd(full);
+  const SubstrateStack stack = bench_stack_fd();
+  std::printf("Table 2.1 — preconditioner effectiveness (FD solver)\n");
+  std::printf("layout: %zu contacts; grid %zux%zux%zu nodes; workload: %s\n\n",
+              layout.n_contacts(), layout.panels_x() * (full ? 2 : 1),
+              layout.panels_x() * (full ? 2 : 1), std::size_t(20),
+              "12 representative solves (unit-contact + random patterns)");
+
+  struct Row {
+    const char* name;
+    FdPreconditioner kind;
+    double paper;  // iterations reported in the thesis (-1 = not reported)
+  };
+  const Row rows[] = {
+      {"none (plain CG)", FdPreconditioner::kNone, -1.0},
+      {"incomplete Cholesky", FdPreconditioner::kIncompleteCholesky, -1.0},
+      {"fast solver, Dirichlet", FdPreconditioner::kFastDirichlet, 22.2},
+      {"fast solver, Neumann", FdPreconditioner::kFastNeumann, 7.9},
+      {"fast solver, area-weighted", FdPreconditioner::kFastAreaWeighted, 6.8},
+      // The thesis' future-work suggestion (§2.2.2), answered here.
+      {"geometric multigrid", FdPreconditioner::kMultigrid, -1.0},
+  };
+
+  Table table({"preconditioner", "avg iterations", "time/solve (ms)", "paper iters"});
+  Rng rng(11);
+  std::vector<Vector> workload;
+  for (int t = 0; t < 12; ++t) {
+    Vector v(layout.n_contacts());
+    if (t < 4) {
+      v[rng.below(layout.n_contacts())] = 1.0;  // single-contact excitations
+    } else {
+      for (auto& x : v) x = rng.normal();  // dense random patterns
+    }
+    workload.push_back(std::move(v));
+  }
+
+  for (const Row& row : rows) {
+    const FdSolver solver(layout, stack, {.grid_h = 2.0, .precond = row.kind});
+    Timer t;
+    for (const Vector& v : workload) solver.solve(v);
+    const double per_solve = 1e3 * t.seconds() / static_cast<double>(workload.size());
+    table.add_row({row.name, Table::fixed(solver.avg_iterations(), 1),
+                   Table::fixed(per_solve, 1),
+                   row.paper < 0 ? "-" : Table::fixed(row.paper, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "expected shape: the fast-solver family beats IC(0) by an order of\n"
+      "magnitude and plain CG by two; pure-Dirichlet is the weakest fast\n"
+      "variant (the paper found the area-weighted p best, Neumann close —\n"
+      "the Neumann/area ordering is stack- and stencil-sensitive).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 2.2: solve speed, finite-difference vs eigenfunction
+// substrate solver (iterations per solve and time per solve over 10 solves).
+//
+// Paper values: FD 7.0 iters / 3.8 s, eigenfunction 6.0 iters / 0.4 s.
+// Expected shape: comparable iteration counts, eigenfunction faster by about
+// an order of magnitude (it discretizes only the surface).
+#include "common.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const Layout layout = example_regular_fd(full);
+  std::printf("Table 2.2 — solve speed, FD vs eigenfunction (%zu contacts)\n\n",
+              layout.n_contacts());
+
+  const SurfaceSolver eigen(layout, bench_stack());
+  const FdSolver fd(layout, bench_stack_fd(), {.grid_h = 2.0});
+
+  Rng rng(3);
+  std::vector<Vector> workload;
+  for (int t = 0; t < 10; ++t) {
+    Vector v(layout.n_contacts());
+    for (auto& x : v) x = rng.normal();
+    workload.push_back(std::move(v));
+  }
+
+  Table table({"solver", "iterations/solve", "time/solve (s)", "unknowns", "paper (iters, s)"});
+  Timer t;
+  for (const Vector& v : workload) fd.solve(v);
+  const double fd_time = t.seconds() / 10.0;
+  t.reset();
+  for (const Vector& v : workload) eigen.solve(v);
+  const double eig_time = t.seconds() / 10.0;
+
+  table.add_row({"finite difference", Table::fixed(fd.avg_iterations(), 1),
+                 Table::num(fd_time, 3), std::to_string(fd.grid_nodes()), "7.0, 3.8"});
+  table.add_row({"eigenfunction", Table::fixed(eigen.avg_iterations(), 1),
+                 Table::num(eig_time, 3),
+                 std::to_string(layout.panels_x() * layout.panels_y()), "6.0, 0.4"});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("eigenfunction speedup: %.1fx (paper: ~10x)\n", fd_time / eig_time);
+  return 0;
+}

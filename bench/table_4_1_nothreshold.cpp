@@ -1,0 +1,51 @@
+// Reproduces Table 4.1: low-rank vs wavelet sparsification without
+// thresholding — sparsity factor, max relative error, solve reduction.
+//
+// Paper rows (low-rank sparsity / wavelet sparsity / low-rank max err /
+// wavelet max err / low-rank solve reduction / wavelet solve reduction):
+//   1 regular          3.9 / 2.5 / 5.1% / 0.2% / 3.2 / 2.9
+//   2 alternating      4.1 / 2.5 / 5.7% /  47% / 3.3 / 2.9
+//   3 mixed shapes     3.5 / 2.3 /  12% /  31% / 2.8 / 2.5
+// Expected shape: wavelets win on the regular grid's max error; the
+// low-rank method wins decisively on both mixed-size examples while being
+// at least as sparse.
+#include "common.hpp"
+
+using namespace subspar;
+using namespace subspar::bench;
+
+namespace {
+
+void run(const char* name, const char* paper, const Layout& layout, Table& table) {
+  const SurfaceSolver solver(layout, bench_stack());
+  const QuadTree tree(layout);
+  const ExactColumns exact = exact_columns(solver, 1.0);
+  const MethodRow lr = run_lowrank(solver, tree, exact, 6.0);
+  const MethodRow wv = run_wavelet(solver, tree, exact, 6.0);
+  table.add_row({name, std::to_string(layout.n_contacts()), Table::fixed(lr.sparsity, 1),
+                 Table::fixed(wv.sparsity, 1),
+                 Table::pct(lr.error.max_rel_error_significant, 1),
+                 Table::pct(wv.error.max_rel_error_significant, 1),
+                 Table::pct(lr.error.frac_above_10pct, 1),
+                 Table::pct(wv.error.frac_above_10pct, 1),
+                 Table::fixed(lr.solve_reduction, 2), Table::fixed(wv.solve_reduction, 2),
+                 paper});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  std::printf("Table 4.1 — low-rank vs wavelet, no thresholding\n");
+  std::printf("(max err over entries >= max|G|/500, the paper's stated range)\n\n");
+  Table table({"example", "n", "sparsity LR", "sparsity W", "max err LR", "max err W",
+               ">10% LR", ">10% W", "solve red. LR", "solve red. W",
+               "paper (spLR/spW/errLR/errW/srLR/srW)"});
+  run("1 regular", "3.9/2.5/5.1%/0.2%/3.2/2.9", example_regular(full), table);
+  run("2 alternating", "4.1/2.5/5.7%/47%/3.3/2.9", example_alternating(full), table);
+  run("3 mixed shapes", "3.5/2.3/12%/31%/2.8/2.5", example_shapes(full), table);
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: low-rank at least as sparse everywhere, far more\n"
+              "accurate on examples 2 and 3 (mixed contact sizes/shapes).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Gallery of the paper's contact layouts (Figs. 3-6..3-8, 4-1, 4-8, 4-10)
+// rendered as ASCII occupancy maps plus quadtree statistics — a quick way
+// to see what each benchmark example actually looks like.
+#include <cstdio>
+#include <string>
+
+#include "geometry/layout_gen.hpp"
+#include "geometry/quadtree.hpp"
+
+using namespace subspar;
+
+namespace {
+
+void show(const std::string& title, const Layout& layout) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("%s", layout.ascii().c_str());
+  const QuadTree tree(layout);
+  std::size_t multipart = 0;
+  double amin = 1e300, amax = 0.0;
+  for (std::size_t i = 0; i < layout.n_contacts(); ++i) {
+    multipart += layout.contact(i).parts.size() > 1;
+    amin = std::min(amin, layout.contact_area(i));
+    amax = std::max(amax, layout.contact_area(i));
+  }
+  std::printf(
+      "contacts: %zu (multi-part: %zu), areas [%g, %g], quadtree levels: %d, "
+      "finest squares: %zu\n\n",
+      layout.n_contacts(), multipart, amin, amax, tree.max_level(),
+      tree.squares(tree.max_level()).size());
+}
+
+}  // namespace
+
+int main() {
+  show("Fig. 3-6: regular grid (Examples 1a/1b)", regular_grid_layout(8));
+  show("Fig. 3-7: irregular same-size placement (Example 2)", irregular_layout(8, 0.55, 42));
+  show("Fig. 3-8: alternating sizes (Ch.3 Ex.3 / Ch.4 Ex.2)", alternating_size_layout(8));
+  show("Fig. 4-1: six-contact vignette", simple_six_layout());
+  show("Fig. 4-8: mixed shapes - squares, strips, rings (Ch.4 Ex.3)",
+       mixed_shapes_layout(8, 7));
+  show("Fig. 4-10: large mixed fields (Example 5, scaled)", large_mixed_layout(8, 0.8, 11));
+  return 0;
+}

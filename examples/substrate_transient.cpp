@@ -1,0 +1,102 @@
+// Transient substrate-noise simulation — the "include the substrate model
+// in a circuit simulator" goal of §5.2 / ref. [11], end to end.
+//
+// A digital driver toggles a square wave onto an injector contact through
+// its own series resistance; a sensitive analog sense node (contact + RC
+// load) picks up the disturbance through the substrate. The sparse
+// Q G_w Q' model sits inside the MNA operator: every Krylov iteration
+// applies the substrate in O(n log n) instead of O(n^2). The waveform at
+// the sense node is validated against the same simulation run with the
+// dense G and printed as an ASCII oscillogram.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/netlist.hpp"
+#include "circuit/simulator.hpp"
+#include "core/extractor.hpp"
+#include "geometry/layout_gen.hpp"
+#include "substrate/eigen_solver.hpp"
+#include "substrate/stack.hpp"
+
+using namespace subspar;
+
+namespace {
+
+struct Rig {
+  Netlist netlist;
+  NodeId driver = kGround, inj = kGround, sense = kGround;
+  std::vector<NodeId> contact_nodes;
+};
+
+// Circuit: vsrc -> 50 ohm -> injector contact; sense contact -> RC to
+// ground; all other substrate contacts grounded.
+Rig build_rig(std::size_t n_contacts, std::size_t injector, std::size_t sensor) {
+  Rig rig;
+  rig.driver = rig.netlist.add_node("driver");
+  rig.inj = rig.netlist.add_node("injector");
+  rig.sense = rig.netlist.add_node("sense");
+  rig.netlist.add_voltage_source(rig.driver, kGround, 0.0);
+  rig.netlist.add_resistor(rig.driver, rig.inj, 50.0);
+  rig.netlist.add_resistor(rig.sense, kGround, 25.0);
+  rig.netlist.add_capacitor(rig.sense, kGround, 4.0);
+  rig.contact_nodes.assign(n_contacts, kGround);
+  rig.contact_nodes[injector] = rig.inj;
+  rig.contact_nodes[sensor] = rig.sense;
+  return rig;
+}
+
+void oscillogram(const std::vector<double>& t, const std::vector<double>& v) {
+  double vmax = 1e-30;
+  for (const double x : v) vmax = std::max(vmax, std::abs(x));
+  std::printf("sense-node waveform (full scale +-%.2e V):\n", vmax);
+  for (std::size_t k = 0; k < t.size(); k += 2) {
+    const int col = static_cast<int>(30.0 * v[k] / vmax);
+    char line[64];
+    for (int i = 0; i < 61; ++i) line[i] = (i == 30) ? '|' : ' ';
+    line[30 + std::max(-30, std::min(30, col))] = '*';
+    line[61] = 0;
+    std::printf("t=%6.3f  %s\n", t[k], line);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Layout layout = regular_grid_layout(8);  // 64 contacts
+  const SurfaceSolver solver(layout, paper_stack());
+  const QuadTree tree(layout);
+  const SparsifiedModel model = extract_sparsified(solver, tree);
+  const Matrix g = extract_dense(solver);
+  std::printf("substrate model: %s\n\n", model.summary().c_str());
+
+  const std::size_t injector = 9, sensor = 54;  // opposite corners
+  const auto stimulus = [](double t, Netlist& nl) {
+    nl.set_voltage_source(0, std::fmod(t, 2.0) < 1.0 ? 1.0 : -1.0);  // square wave
+  };
+
+  Rig sparse_rig = build_rig(layout.n_contacts(), injector, sensor);
+  CircuitSim sparse_sim(
+      sparse_rig.netlist,
+      {sparse_rig.contact_nodes, [&](const Vector& vc) { return model.apply(vc); }});
+  const auto sparse_tr = sparse_sim.transient(0.05, 80, {sparse_rig.sense}, stimulus);
+
+  Rig dense_rig = build_rig(layout.n_contacts(), injector, sensor);
+  CircuitSim dense_sim(dense_rig.netlist,
+                       {dense_rig.contact_nodes, [&](const Vector& vc) { return matvec(g, vc); }});
+  const auto dense_tr = dense_sim.transient(0.05, 80, {dense_rig.sense}, stimulus);
+
+  std::vector<double> vs, vd;
+  double err = 0.0, scale = 0.0;
+  for (std::size_t k = 0; k < sparse_tr.time.size(); ++k) {
+    vs.push_back(sparse_tr.probe_voltages[k][0]);
+    vd.push_back(dense_tr.probe_voltages[k][0]);
+    err = std::max(err, std::abs(vs.back() - vd.back()));
+    scale = std::max(scale, std::abs(vd.back()));
+  }
+  oscillogram(sparse_tr.time, vs);
+  std::printf("\nsparse-vs-dense waveform deviation: %.2f%% of full scale\n",
+              100.0 * err / scale);
+  std::printf("substrate applies per transient: sparse O(nnz) inside each GMRES\n"
+              "iteration vs dense O(n^2) — identical waveforms, cheaper operator.\n");
+  return err < 0.05 * scale ? 0 : 1;
+}

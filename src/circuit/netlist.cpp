@@ -1,0 +1,56 @@
+#include "circuit/netlist.hpp"
+
+namespace subspar {
+
+NodeId Netlist::add_node(std::string name) {
+  if (name.empty()) name = "n" + std::to_string(names_.size());
+  names_.push_back(std::move(name));
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  SUBSPAR_REQUIRE(ohms > 0.0);
+  SUBSPAR_REQUIRE(a != b);
+  res_.push_back({a, b, 1.0 / ohms});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads) {
+  check_node(a);
+  check_node(b);
+  SUBSPAR_REQUIRE(farads > 0.0);
+  SUBSPAR_REQUIRE(a != b);
+  cap_.push_back({a, b, farads});
+}
+
+void Netlist::add_current_source(NodeId a, NodeId b, double amps) {
+  check_node(a);
+  check_node(b);
+  isrc_.push_back({a, b, amps});
+}
+
+void Netlist::add_voltage_source(NodeId a, NodeId b, double volts) {
+  check_node(a);
+  check_node(b);
+  SUBSPAR_REQUIRE(a != b);
+  vsrc_.push_back({a, b, volts});
+}
+
+const std::string& Netlist::node_name(NodeId n) const {
+  check_node(n);
+  SUBSPAR_REQUIRE(n != kGround);
+  return names_[static_cast<std::size_t>(n)];
+}
+
+void Netlist::set_current_source(std::size_t k, double amps) {
+  SUBSPAR_REQUIRE(k < isrc_.size());
+  isrc_[k].i = amps;
+}
+
+void Netlist::set_voltage_source(std::size_t k, double volts) {
+  SUBSPAR_REQUIRE(k < vsrc_.size());
+  vsrc_[k].v = volts;
+}
+
+}  // namespace subspar

@@ -1,0 +1,75 @@
+// Circuit netlist for substrate-aware simulation (§5.2 / ref. [11]).
+//
+// The end purpose of extraction is to drop the substrate model into a
+// circuit simulator. This module provides a small modified-nodal-analysis
+// (MNA) netlist: resistors, capacitors, independent current and voltage
+// sources, plus a binding that attaches selected circuit nodes to substrate
+// contacts so the (sparse or dense) coupling operator joins the nodal
+// equations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+/// Circuit node handle; kGround is the reference node.
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+class Netlist {
+ public:
+  /// Creates a named node and returns its handle.
+  NodeId add_node(std::string name = {});
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  /// Current `amps` flows from node a to node b (into b).
+  void add_current_source(NodeId a, NodeId b, double amps);
+  /// Ideal voltage source: v(a) - v(b) = volts. Adds an MNA branch unknown.
+  void add_voltage_source(NodeId a, NodeId b, double volts);
+
+  std::size_t n_nodes() const { return names_.size(); }
+  std::size_t n_vsources() const { return vsrc_.size(); }
+  const std::string& node_name(NodeId n) const;
+
+  struct Resistor {
+    NodeId a, b;
+    double g;  ///< conductance
+  };
+  struct Capacitor {
+    NodeId a, b;
+    double c;
+  };
+  struct CurrentSource {
+    NodeId a, b;
+    double i;
+  };
+  struct VoltageSource {
+    NodeId a, b;
+    double v;
+  };
+  const std::vector<Resistor>& resistors() const { return res_; }
+  const std::vector<Capacitor>& capacitors() const { return cap_; }
+  const std::vector<CurrentSource>& current_sources() const { return isrc_; }
+  const std::vector<VoltageSource>& voltage_sources() const { return vsrc_; }
+
+  /// Mutable source values (for transient stimulus updates).
+  void set_current_source(std::size_t k, double amps);
+  void set_voltage_source(std::size_t k, double volts);
+
+ private:
+  void check_node(NodeId n) const {
+    SUBSPAR_REQUIRE(n >= kGround && n < static_cast<NodeId>(names_.size()));
+  }
+  std::vector<std::string> names_;
+  std::vector<Resistor> res_;
+  std::vector<Capacitor> cap_;
+  std::vector<CurrentSource> isrc_;
+  std::vector<VoltageSource> vsrc_;
+};
+
+}  // namespace subspar

@@ -1,0 +1,129 @@
+#include "circuit/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+CircuitSim::CircuitSim(Netlist& netlist, SubstrateBinding binding)
+    : netlist_(&netlist), binding_(std::move(binding)) {
+  if (binding_.active()) {
+    for (const NodeId n : binding_.contact_nodes)
+      SUBSPAR_REQUIRE(n >= kGround && n < static_cast<NodeId>(netlist.n_nodes()));
+  }
+}
+
+std::size_t CircuitSim::n_unknowns() const {
+  return netlist_->n_nodes() + netlist_->n_vsources();
+}
+
+Vector CircuitSim::apply_operator(double cap_scale, const Vector& x) const {
+  const Netlist& nl = *netlist_;
+  const std::size_t nn = nl.n_nodes();
+  SUBSPAR_REQUIRE(x.size() == n_unknowns());
+  Vector y(x.size());
+
+  auto v_of = [&](NodeId n) { return n == kGround ? 0.0 : x[static_cast<std::size_t>(n)]; };
+  auto kcl = [&](NodeId n, double current_out) {
+    if (n != kGround) y[static_cast<std::size_t>(n)] += current_out;
+  };
+
+  for (const auto& r : nl.resistors()) {
+    const double i = r.g * (v_of(r.a) - v_of(r.b));
+    kcl(r.a, i);
+    kcl(r.b, -i);
+  }
+  // Capacitors enter as conductance c * cap_scale (backward Euler: 1/dt).
+  if (cap_scale != 0.0) {
+    for (const auto& c : nl.capacitors()) {
+      const double i = c.c * cap_scale * (v_of(c.a) - v_of(c.b));
+      kcl(c.a, i);
+      kcl(c.b, -i);
+    }
+  }
+  // Voltage sources: branch current unknowns + the defining rows.
+  for (std::size_t k = 0; k < nl.voltage_sources().size(); ++k) {
+    const auto& vs = nl.voltage_sources()[k];
+    const double branch_i = x[nn + k];  // flows a -> b through the source
+    kcl(vs.a, branch_i);
+    kcl(vs.b, -branch_i);
+    y[nn + k] = v_of(vs.a) - v_of(vs.b);
+  }
+  // Substrate coupling block.
+  if (binding_.active()) {
+    Vector vc(binding_.contact_nodes.size());
+    for (std::size_t k = 0; k < vc.size(); ++k) vc[k] = v_of(binding_.contact_nodes[k]);
+    const Vector ic = binding_.coupling(vc);
+    SUBSPAR_ENSURE(ic.size() == vc.size());
+    for (std::size_t k = 0; k < ic.size(); ++k) kcl(binding_.contact_nodes[k], ic[k]);
+  }
+  return y;
+}
+
+Vector CircuitSim::rhs_dc() const {
+  const Netlist& nl = *netlist_;
+  Vector b(n_unknowns());
+  for (const auto& s : nl.current_sources()) {
+    if (s.a != kGround) b[static_cast<std::size_t>(s.a)] -= s.i;
+    if (s.b != kGround) b[static_cast<std::size_t>(s.b)] += s.i;
+  }
+  for (std::size_t k = 0; k < nl.voltage_sources().size(); ++k)
+    b[nl.n_nodes() + k] = nl.voltage_sources()[k].v;
+  return b;
+}
+
+Vector CircuitSim::solve_system(double cap_scale, const Vector& rhs, IterStats* stats) const {
+  const LinearOp op = [&](const Vector& x) { return apply_operator(cap_scale, x); };
+  IterStats local;
+  const Vector x = gmres(op, rhs, std::min<std::size_t>(n_unknowns(), 200),
+                         {.rel_tol = 1e-10, .max_iterations = 20 * n_unknowns() + 200}, &local);
+  SUBSPAR_ENSURE(local.converged);
+  if (stats) *stats = local;
+  return x;
+}
+
+Vector CircuitSim::solve_dc(IterStats* stats) const {
+  return solve_system(/*cap_scale=*/0.0, rhs_dc(), stats);
+}
+
+double CircuitSim::node_voltage(const Vector& solution, NodeId node) const {
+  SUBSPAR_REQUIRE(solution.size() == n_unknowns());
+  if (node == kGround) return 0.0;
+  SUBSPAR_REQUIRE(node >= 0 && node < static_cast<NodeId>(netlist_->n_nodes()));
+  return solution[static_cast<std::size_t>(node)];
+}
+
+double CircuitSim::vsource_current(const Vector& solution, std::size_t k) const {
+  SUBSPAR_REQUIRE(k < netlist_->n_vsources());
+  return solution[netlist_->n_nodes() + k];
+}
+
+CircuitSim::Transient CircuitSim::transient(
+    double dt, std::size_t steps, const std::vector<NodeId>& probes,
+    const std::function<void(double, Netlist&)>& stimulus) const {
+  SUBSPAR_REQUIRE(dt > 0.0);
+  const std::size_t nn = netlist_->n_nodes();
+  Transient out;
+  Vector x = solve_dc();
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    if (stimulus) stimulus(t, *netlist_);
+    // Backward Euler: (G + C/dt) x_new = b(t) + (C/dt) x_old on cap rows.
+    Vector rhs = rhs_dc();
+    for (const auto& c : netlist_->capacitors()) {
+      const double vprev = (c.a == kGround ? 0.0 : x[static_cast<std::size_t>(c.a)]) -
+                           (c.b == kGround ? 0.0 : x[static_cast<std::size_t>(c.b)]);
+      const double hist = c.c / dt * vprev;
+      if (c.a != kGround) rhs[static_cast<std::size_t>(c.a)] += hist;
+      if (c.b != kGround) rhs[static_cast<std::size_t>(c.b)] -= hist;
+    }
+    x = solve_system(1.0 / dt, rhs, nullptr);
+    out.time.push_back(t);
+    Vector pv(probes.size());
+    for (std::size_t p = 0; p < probes.size(); ++p) pv[p] = node_voltage(x, probes[p]);
+    out.probe_voltages.push_back(std::move(pv));
+    (void)nn;
+  }
+  return out;
+}
+
+}  // namespace subspar

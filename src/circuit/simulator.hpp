@@ -1,0 +1,65 @@
+// Substrate-aware circuit simulation (§5.2).
+//
+// Modified nodal analysis over a Netlist, with substrate coupling attached
+// as a black-box operator: selected circuit nodes are bound to substrate
+// contacts, and the coupling block contributes contact currents
+// i_c = G_sub(v_c) to the KCL rows. Because the sparsified model applies in
+// O(n log n), it can sit inside the Krylov iteration exactly as the dense G
+// never could — the point of the whole exercise (§1.1, ref. [11]).
+//
+// DC solves use GMRES on the (indefinite, because of voltage-source rows)
+// MNA operator; transient analysis uses backward Euler.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/sparse.hpp"
+
+namespace subspar {
+
+/// Binding of substrate contacts to circuit nodes. contact_nodes[k] is the
+/// circuit node of substrate contact k (kGround pins the contact to 0 V).
+/// `coupling` maps contact voltages to contact currents — use
+/// SparsifiedModel::apply, a raw SubstrateSolver, or a dense G.
+struct SubstrateBinding {
+  std::vector<NodeId> contact_nodes;
+  std::function<Vector(const Vector&)> coupling;
+
+  bool active() const { return static_cast<bool>(coupling); }
+};
+
+class CircuitSim {
+ public:
+  explicit CircuitSim(Netlist& netlist, SubstrateBinding binding = {});
+
+  /// Unknown vector: node voltages then voltage-source branch currents.
+  std::size_t n_unknowns() const;
+
+  /// DC operating point.
+  Vector solve_dc(IterStats* stats = nullptr) const;
+
+  double node_voltage(const Vector& solution, NodeId node) const;
+  double vsource_current(const Vector& solution, std::size_t k) const;
+
+  struct Transient {
+    std::vector<double> time;
+    std::vector<Vector> probe_voltages;  ///< one entry per step, per probe
+  };
+  /// Backward-Euler transient from the DC operating point. `stimulus` may
+  /// mutate source values at each time point before the step is solved.
+  Transient transient(double dt, std::size_t steps, const std::vector<NodeId>& probes,
+                      const std::function<void(double, Netlist&)>& stimulus = {}) const;
+
+ private:
+  Vector solve_system(double cap_scale, const Vector& rhs, IterStats* stats) const;
+  Vector rhs_dc() const;
+  Vector apply_operator(double cap_scale, const Vector& x) const;
+
+  Netlist* netlist_;
+  SubstrateBinding binding_;
+};
+
+}  // namespace subspar

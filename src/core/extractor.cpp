@@ -1,0 +1,62 @@
+#include "core/extractor.hpp"
+
+#include <sstream>
+
+#include "lowrank/extract.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "wavelet/basis.hpp"
+#include "wavelet/extract.hpp"
+#include "wavelet/pattern.hpp"
+
+namespace subspar {
+
+SparsifiedModel::SparsifiedModel(SparseMatrix q, SparseMatrix gw, long solves, double seconds)
+    : q_(std::move(q)), gw_(std::move(gw)), solves_(solves), seconds_(seconds) {
+  SUBSPAR_REQUIRE(q_.rows() == q_.cols() && gw_.rows() == q_.cols() && gw_.cols() == q_.cols());
+}
+
+Vector SparsifiedModel::apply(const Vector& contact_voltages) const {
+  return q_.apply(gw_.apply(q_.apply_t(contact_voltages)));
+}
+
+double SparsifiedModel::solve_reduction_factor() const {
+  return solves_ == 0 ? 0.0
+                      : static_cast<double>(q_.rows()) / static_cast<double>(solves_);
+}
+
+std::string SparsifiedModel::summary() const {
+  std::ostringstream out;
+  out << "n = " << q_.rows() << ", solves = " << solves_ << " (reduction "
+      << solve_reduction_factor() << "x), sparsity(G_w) = " << gw_sparsity_factor()
+      << ", sparsity(Q) = " << q_sparsity_factor() << ", build = " << seconds_ << " s";
+  return out.str();
+}
+
+SparsifiedModel extract_sparsified(const SubstrateSolver& solver, const QuadTree& tree,
+                                   const ExtractorOptions& options) {
+  Timer timer;
+  SparseMatrix q, gw;
+  long solves = 0;
+  if (options.method == SparsifyMethod::kWavelet) {
+    const WaveletBasis basis(tree, options.moment_order);
+    const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
+    q = basis.q();
+    gw = ex.gws;
+    solves = ex.solves;
+  } else {
+    LowRankExtraction ex = lowrank_extract(solver, tree, options.lowrank);
+    q = ex.basis->q();
+    gw = std::move(ex.gw);
+    solves = ex.solves;
+  }
+  if (options.threshold_sparsity_multiple > 1.0) {
+    const auto target =
+        static_cast<std::size_t>(static_cast<double>(gw.nnz()) /
+                                 options.threshold_sparsity_multiple);
+    gw = threshold_to_nnz(gw, target);
+  }
+  return SparsifiedModel(std::move(q), std::move(gw), solves, timer.seconds());
+}
+
+}  // namespace subspar

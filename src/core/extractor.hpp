@@ -1,0 +1,65 @@
+// Top-level facade: one call from (solver, layout) to a sparse substrate
+// model G ~= Q G_w Q' ready to drop into a circuit simulator.
+//
+// This is the API a downstream user consumes; the benches and tests reach
+// into the underlying modules for finer-grained control.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geometry/quadtree.hpp"
+#include "linalg/sparse.hpp"
+#include "lowrank/row_basis.hpp"
+#include "substrate/solver.hpp"
+
+namespace subspar {
+
+enum class SparsifyMethod {
+  kWavelet,  ///< Chapter 3: geometric vanishing-moment basis
+  kLowRank,  ///< Chapter 4: operator-adapted row-basis construction
+};
+
+struct ExtractorOptions {
+  SparsifyMethod method = SparsifyMethod::kLowRank;
+  /// Wavelet moment order (Chapter 3; the paper uses 2).
+  int moment_order = 2;
+  /// Low-rank options (Chapter 4).
+  LowRankOptions lowrank;
+  /// If > 1, additionally threshold G_w to ~this multiple of its
+  /// conservative sparsity factor (the paper uses 6; §3.7 / §4.6).
+  double threshold_sparsity_multiple = 0.0;
+};
+
+/// A sparsified substrate coupling model.
+class SparsifiedModel {
+ public:
+  SparsifiedModel(SparseMatrix q, SparseMatrix gw, long solves, double seconds);
+
+  /// Contact currents from contact voltages through Q G_w Q' —
+  /// O(nnz(Q) + nnz(G_w)) instead of the dense O(n^2).
+  Vector apply(const Vector& contact_voltages) const;
+
+  const SparseMatrix& q() const { return q_; }
+  const SparseMatrix& gw() const { return gw_; }
+  long solves_used() const { return solves_; }
+  double build_seconds() const { return seconds_; }
+
+  /// Paper metrics.
+  double gw_sparsity_factor() const { return gw_.sparsity_factor(); }
+  double q_sparsity_factor() const { return q_.sparsity_factor(); }
+  double solve_reduction_factor() const;
+
+  std::string summary() const;
+
+ private:
+  SparseMatrix q_, gw_;
+  long solves_;
+  double seconds_;
+};
+
+/// Runs the selected sparsification pipeline end to end.
+SparsifiedModel extract_sparsified(const SubstrateSolver& solver, const QuadTree& tree,
+                                   const ExtractorOptions& options = {});
+
+}  // namespace subspar

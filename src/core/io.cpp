@@ -1,0 +1,68 @@
+#include "core/io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+
+constexpr const char* kMagic = "subspar-model v1";
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_sparse(std::FILE* f, const SparseMatrix& m) {
+  std::fprintf(f, "%zu %zu %zu\n", m.rows(), m.cols(), m.nnz());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t k = m.row_begin(i); k < m.row_end(i); ++k)
+      // Hex floats round-trip doubles exactly.
+      std::fprintf(f, "%zu %zu %a\n", i, m.col_index(k), m.value(k));
+}
+
+SparseMatrix read_sparse(std::FILE* f) {
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  SUBSPAR_REQUIRE(std::fscanf(f, "%zu %zu %zu", &rows, &cols, &nnz) == 3);
+  SparseBuilder b(rows, cols);
+  for (std::size_t t = 0; t < nnz; ++t) {
+    std::size_t i = 0, j = 0;
+    double v = 0.0;
+    SUBSPAR_REQUIRE(std::fscanf(f, "%zu %zu %la", &i, &j, &v) == 3);
+    b.add(i, j, v);
+  }
+  return SparseMatrix(b);
+}
+
+}  // namespace
+
+void save_model(const std::string& path, const SparsifiedModel& model) {
+  File f(std::fopen(path.c_str(), "w"));
+  SUBSPAR_REQUIRE(f != nullptr);
+  std::fprintf(f.get(), "%s\n", kMagic);
+  std::fprintf(f.get(), "%ld %a\n", model.solves_used(), model.build_seconds());
+  write_sparse(f.get(), model.q());
+  write_sparse(f.get(), model.gw());
+  SUBSPAR_ENSURE(std::ferror(f.get()) == 0);
+}
+
+SparsifiedModel load_model(const std::string& path) {
+  File f(std::fopen(path.c_str(), "r"));
+  SUBSPAR_REQUIRE(f != nullptr);
+  char magic[64] = {};
+  SUBSPAR_REQUIRE(std::fgets(magic, sizeof magic, f.get()) != nullptr);
+  SUBSPAR_REQUIRE(std::string(magic).rfind(kMagic, 0) == 0);
+  long solves = 0;
+  double seconds = 0.0;
+  SUBSPAR_REQUIRE(std::fscanf(f.get(), "%ld %la", &solves, &seconds) == 2);
+  SparseMatrix q = read_sparse(f.get());
+  SparseMatrix gw = read_sparse(f.get());
+  return SparsifiedModel(std::move(q), std::move(gw), solves, seconds);
+}
+
+}  // namespace subspar

@@ -1,0 +1,21 @@
+// Serialization of sparsified substrate models.
+//
+// Extraction costs O(log n) substrate solves; a downstream circuit-
+// simulation flow extracts once and reuses the model across runs. The
+// format is a small self-describing text file (exact decimal round trip via
+// hex floats).
+#pragma once
+
+#include <string>
+
+#include "core/extractor.hpp"
+
+namespace subspar {
+
+/// Writes the model to `path`. Throws on I/O failure.
+void save_model(const std::string& path, const SparsifiedModel& model);
+
+/// Reads a model written by save_model. Validates the header and shape.
+SparsifiedModel load_model(const std::string& path);
+
+}  // namespace subspar

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+Vector reconstruct_column(const SparseMatrix& q, const SparseMatrix& gw, std::size_t j) {
+  const std::size_t n = q.rows();
+  SUBSPAR_REQUIRE(j < n);
+  // Q G_w Q' e_j: row j of Q is Q' e_j.
+  Vector qtej(q.cols());
+  for (std::size_t k = q.row_begin(j); k < q.row_end(j); ++k) qtej[q.col_index(k)] = q.value(k);
+  return q.apply(gw.apply(qtej));
+}
+
+namespace {
+
+ErrorStats compare_columns(const SparseMatrix& q, const SparseMatrix& gw,
+                           const Matrix& g_exact_cols, const std::vector<std::size_t>& col_ids) {
+  SUBSPAR_REQUIRE(g_exact_cols.cols() == col_ids.size());
+  ErrorStats stats;
+  std::size_t above = 0;
+  const double gmax = g_exact_cols.max_abs();
+  const double floor = kEntryFloorRel * gmax;
+  const double significant = kSignificantRel * gmax;
+  for (std::size_t c = 0; c < col_ids.size(); ++c) {
+    const Vector approx = reconstruct_column(q, gw, col_ids[c]);
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+      const double exact = g_exact_cols(i, c);
+      if (std::abs(exact) <= floor) continue;  // below solver resolution
+      const double rel = std::abs(approx[i] - exact) / std::abs(exact);
+      stats.max_rel_error = std::max(stats.max_rel_error, rel);
+      if (std::abs(exact) >= significant)
+        stats.max_rel_error_significant = std::max(stats.max_rel_error_significant, rel);
+      above += rel > 0.10;
+      ++stats.entries;
+    }
+  }
+  stats.frac_above_10pct =
+      stats.entries == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(stats.entries);
+  return stats;
+}
+
+}  // namespace
+
+ErrorStats reconstruction_error(const SparseMatrix& q, const SparseMatrix& gw,
+                                const Matrix& g_exact_cols,
+                                const std::vector<std::size_t>& col_ids) {
+  return compare_columns(q, gw, g_exact_cols, col_ids);
+}
+
+ErrorStats reconstruction_error(const SparseMatrix& q, const SparseMatrix& gw,
+                                const Matrix& g_exact) {
+  std::vector<std::size_t> cols(g_exact.cols());
+  for (std::size_t j = 0; j < cols.size(); ++j) cols[j] = j;
+  return compare_columns(q, gw, g_exact, cols);
+}
+
+ErrorStats direct_threshold_error(const Matrix& g_exact, double keep_fraction) {
+  SUBSPAR_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const std::size_t n = g_exact.rows();
+  std::vector<double> mags;
+  mags.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) mags.push_back(std::abs(g_exact(i, j)));
+  const auto keep = static_cast<std::size_t>(keep_fraction * static_cast<double>(mags.size()));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(keep), mags.end(),
+                   std::greater<double>());
+  const double cut = mags[keep];
+
+  ErrorStats stats;
+  std::size_t above = 0;
+  const double gmax = g_exact.max_abs();
+  const double floor = kEntryFloorRel * gmax;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double exact = g_exact(i, j);
+      if (std::abs(exact) <= floor) continue;
+      const double approx = std::abs(exact) > cut ? exact : 0.0;
+      const double rel = std::abs(approx - exact) / std::abs(exact);
+      stats.max_rel_error = std::max(stats.max_rel_error, rel);
+      if (std::abs(exact) >= kSignificantRel * gmax)
+        stats.max_rel_error_significant = std::max(stats.max_rel_error_significant, rel);
+      above += rel > 0.10;
+      ++stats.entries;
+    }
+  }
+  stats.frac_above_10pct =
+      stats.entries == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(stats.entries);
+  return stats;
+}
+
+}  // namespace subspar

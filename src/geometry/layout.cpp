@@ -1,0 +1,93 @@
+#include "geometry/layout.hpp"
+
+#include <algorithm>
+
+#include "util/plot.hpp"
+
+namespace subspar {
+
+long Contact::panel_count() const {
+  long n = 0;
+  for (const auto& r : parts) n += r.panel_count();
+  return n;
+}
+
+Rect Contact::bounding_box() const {
+  SUBSPAR_REQUIRE(!parts.empty());
+  int x0 = parts[0].x0, y0 = parts[0].y0, x1 = parts[0].x1(), y1 = parts[0].y1();
+  for (const auto& r : parts) {
+    x0 = std::min(x0, r.x0);
+    y0 = std::min(y0, r.y0);
+    x1 = std::max(x1, r.x1());
+    y1 = std::max(y1, r.y1());
+  }
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+Layout::Layout(std::size_t panels_x, std::size_t panels_y, double panel_size)
+    : px_(panels_x), py_(panels_y), h_(panel_size), owner_(panels_x * panels_y, -1) {
+  SUBSPAR_REQUIRE(panels_x > 0 && panels_y > 0 && panel_size > 0.0);
+}
+
+std::size_t Layout::add_contact(const Contact& c) {
+  SUBSPAR_REQUIRE(!c.parts.empty());
+  const int id = static_cast<int>(contacts_.size());
+  // Validate, then commit; roll back on overlap within this same contact's
+  // parts as well (parts must not overlap each other either).
+  for (const auto& r : c.parts) {
+    SUBSPAR_REQUIRE(r.valid());
+    SUBSPAR_REQUIRE(r.x0 >= 0 && r.y0 >= 0);
+    SUBSPAR_REQUIRE(static_cast<std::size_t>(r.x1()) <= px_ &&
+                    static_cast<std::size_t>(r.y1()) <= py_);
+  }
+  for (const auto& r : c.parts)
+    for (int y = r.y0; y < r.y1(); ++y)
+      for (int x = r.x0; x < r.x1(); ++x)
+        SUBSPAR_REQUIRE(owner_[static_cast<std::size_t>(x) + px_ * static_cast<std::size_t>(y)] ==
+                        -1);
+  for (const auto& r : c.parts)
+    for (int y = r.y0; y < r.y1(); ++y)
+      for (int x = r.x0; x < r.x1(); ++x)
+        owner_[static_cast<std::size_t>(x) + px_ * static_cast<std::size_t>(y)] = id;
+  contacts_.push_back(c);
+  return static_cast<std::size_t>(id);
+}
+
+double Layout::contact_area(std::size_t i) const {
+  SUBSPAR_REQUIRE(i < contacts_.size());
+  return static_cast<double>(contacts_[i].panel_count()) * h_ * h_;
+}
+
+std::pair<double, double> Layout::contact_centroid(std::size_t i) const {
+  SUBSPAR_REQUIRE(i < contacts_.size());
+  double sx = 0.0, sy = 0.0, area = 0.0;
+  for (const auto& r : contacts_[i].parts) {
+    const double a = static_cast<double>(r.panel_count()) * h_ * h_;
+    sx += a * 0.5 * (static_cast<double>(r.x0) + static_cast<double>(r.x1())) * h_;
+    sy += a * 0.5 * (static_cast<double>(r.y0) + static_cast<double>(r.y1())) * h_;
+    area += a;
+  }
+  return {sx / area, sy / area};
+}
+
+std::vector<std::size_t> Layout::contact_panels(std::size_t i) const {
+  SUBSPAR_REQUIRE(i < contacts_.size());
+  std::vector<std::size_t> panels;
+  panels.reserve(static_cast<std::size_t>(contacts_[i].panel_count()));
+  for (const auto& r : contacts_[i].parts)
+    for (int y = r.y0; y < r.y1(); ++y)
+      for (int x = r.x0; x < r.x1(); ++x)
+        panels.push_back(static_cast<std::size_t>(x) + px_ * static_cast<std::size_t>(y));
+  return panels;
+}
+
+std::string Layout::ascii() const {
+  // Render with y increasing downward; distinct glyph classes by contact
+  // parity so adjacent contacts are distinguishable.
+  return ascii_grid(py_, px_, [this](std::size_t row, std::size_t col) {
+    const int o = panel_owner(col, row);
+    return o < 0 ? 0 : 1 + (o % 2);
+  });
+}
+
+}  // namespace subspar

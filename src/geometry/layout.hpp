@@ -1,0 +1,83 @@
+// Contact layout geometry.
+//
+// The substrate top surface is discretized into square panels (Fig. 2-5).
+// A contact is a union of axis-aligned panel rectangles — a single square
+// for simple layouts, several parts for the rings and long-thin shapes of
+// Example 3 (Fig. 4-8). Every contact is a perfect conductor: one voltage,
+// one aggregated current.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+/// Axis-aligned rectangle in panel units: panels [x0, x0+w) x [y0, y0+h).
+struct Rect {
+  int x0 = 0, y0 = 0, w = 0, h = 0;
+
+  int x1() const { return x0 + w; }
+  int y1() const { return y0 + h; }
+  long panel_count() const { return static_cast<long>(w) * h; }
+  bool valid() const { return w > 0 && h > 0; }
+  bool overlaps(const Rect& o) const {
+    return x0 < o.x1() && o.x0 < x1() && y0 < o.y1() && o.y0 < y1();
+  }
+};
+
+/// A contact: one or more non-overlapping rectangles forming a single
+/// equipotential conductor.
+struct Contact {
+  std::vector<Rect> parts;
+
+  Contact() = default;
+  Contact(int x0, int y0, int w, int h) : parts{{x0, y0, w, h}} {}
+  explicit Contact(std::vector<Rect> p) : parts(std::move(p)) {}
+
+  long panel_count() const;
+  Rect bounding_box() const;
+};
+
+/// The substrate top-surface layout: a panels_x x panels_y grid of square
+/// panels of physical side `panel_size`, plus the contact list. Enforces
+/// in-bounds, non-degenerate, non-overlapping contacts via an occupancy map.
+class Layout {
+ public:
+  Layout(std::size_t panels_x, std::size_t panels_y, double panel_size);
+
+  /// Adds a contact; returns its index.
+  std::size_t add_contact(const Contact& c);
+
+  std::size_t panels_x() const { return px_; }
+  std::size_t panels_y() const { return py_; }
+  double panel_size() const { return h_; }
+  double width() const { return static_cast<double>(px_) * h_; }   ///< physical a
+  double height() const { return static_cast<double>(py_) * h_; }  ///< physical b
+
+  std::size_t n_contacts() const { return contacts_.size(); }
+  const Contact& contact(std::size_t i) const { return contacts_[i]; }
+
+  /// Physical area of contact i (panel_count * panel_size^2).
+  double contact_area(std::size_t i) const;
+  /// Physical area centroid of contact i.
+  std::pair<double, double> contact_centroid(std::size_t i) const;
+  /// Flat panel indices (x + panels_x * y) covered by contact i.
+  std::vector<std::size_t> contact_panels(std::size_t i) const;
+  /// Owner contact of a panel, or -1 if uncovered.
+  int panel_owner(std::size_t x, std::size_t y) const { return owner_[x + px_ * y]; }
+
+  /// ASCII rendering of the occupancy map (for the layout figures).
+  std::string ascii() const;
+
+ private:
+  std::size_t px_, py_;
+  double h_;
+  std::vector<Contact> contacts_;
+  std::vector<int> owner_;  // -1 = empty
+};
+
+}  // namespace subspar

@@ -1,0 +1,49 @@
+// Generators for every contact layout used in the paper's evaluation:
+//   * regular grid                      (Fig. 3-6, Examples 1a/1b, Ch.4 Ex.1)
+//   * irregular same-size placement     (Fig. 3-7, Example 2)
+//   * alternating-size grid             (Fig. 3-8, Ch.3 Ex.3 / Ch.4 Ex.2 / Ex.4)
+//   * the six-contact vignette          (Fig. 4-1)
+//   * mixed shapes: squares/strips/rings (Fig. 4-8, Ch.4 Ex.3)
+//   * large mixed fields                (Fig. 4-10, Example 5)
+//
+// All generators place contacts inside pitch-4-panel cells so that no
+// contact crosses a finest-level quadtree square boundary (the paper's
+// splitting convention, §3.2); long thin contacts are emitted pre-split into
+// per-cell segments, exactly as the paper prescribes for oversized contacts.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/layout.hpp"
+
+namespace subspar {
+
+/// c x c grid of 2x2-panel contacts on a 4-panel pitch (surface = 4c panels).
+/// c must be a power of two >= 4 so the quadtree reaches level 2.
+Layout regular_grid_layout(int contacts_per_side, double panel_size = 2.0);
+
+/// Same-size 2x2 contacts on the regular-grid cells, but with randomly
+/// dropped sites and a few rectangular void regions (large gaps, Fig. 3-7).
+Layout irregular_layout(int cells_per_side, double keep_prob, std::uint64_t seed,
+                        double panel_size = 2.0);
+
+/// Rows of cells alternate between large 3x3 and small 1x1 contacts
+/// (Fig. 3-8). The mixed sizes are exactly what defeats the wavelet basis.
+Layout alternating_size_layout(int cells_per_side, double panel_size = 2.0);
+
+/// Fig. 4-1: source square with one 2x2 and one 3x3 contact (area ratio
+/// 2.25), plus a well-separated destination square with four 2x2 contacts.
+Layout simple_six_layout(double panel_size = 2.0);
+
+/// Mix of small squares, 4x1 strip segments (split long thin contacts) and
+/// 4x4 rings of width 1 (Fig. 4-8).
+Layout mixed_shapes_layout(int cells_per_side, std::uint64_t seed, double panel_size = 1.0);
+
+/// Large example: dense fields of small 1x1 contacts at pitch-2 within
+/// randomly chosen cells plus interspersed 3x3 contacts (Fig. 4-10).
+/// `cells_per_side` cells of 4 panels; each populated cell holds 4 small
+/// contacts, so n grows roughly as 4 * fill * cells^2.
+Layout large_mixed_layout(int cells_per_side, double fill_prob, std::uint64_t seed,
+                          double panel_size = 1.0);
+
+}  // namespace subspar

@@ -1,0 +1,84 @@
+#include "geometry/moments.hpp"
+
+#include <cmath>
+
+namespace subspar {
+namespace {
+
+// int_{u0}^{u1} u^k du
+double power_integral(double u0, double u1, int k) {
+  const double kk = static_cast<double>(k + 1);
+  return (std::pow(u1, k + 1) - std::pow(u0, k + 1)) / kk;
+}
+
+double binomial(int n, int k) {
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) r = r * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return r;
+}
+
+}  // namespace
+
+std::size_t moment_count(int p) {
+  SUBSPAR_REQUIRE(p >= 0);
+  return static_cast<std::size_t>((p + 1) * (p + 2) / 2);
+}
+
+std::size_t moment_index(int alpha, int beta) {
+  SUBSPAR_REQUIRE(alpha >= 0 && beta >= 0);
+  const int order = alpha + beta;
+  // Moments of order < `order` occupy order*(order+1)/2 slots; within an
+  // order, alpha runs from `order` down to 0.
+  return static_cast<std::size_t>(order * (order + 1) / 2 + (order - alpha));
+}
+
+Vector contact_moments(const Contact& c, double panel_size, double cx, double cy, int p) {
+  Vector m(moment_count(p));
+  for (const auto& r : c.parts) {
+    const double x0 = static_cast<double>(r.x0) * panel_size - cx;
+    const double x1 = static_cast<double>(r.x1()) * panel_size - cx;
+    const double y0 = static_cast<double>(r.y0) * panel_size - cy;
+    const double y1 = static_cast<double>(r.y1()) * panel_size - cy;
+    for (int order = 0; order <= p; ++order) {
+      for (int alpha = order; alpha >= 0; --alpha) {
+        const int beta = order - alpha;
+        m[moment_index(alpha, beta)] +=
+            power_integral(x0, x1, alpha) * power_integral(y0, y1, beta);
+      }
+    }
+  }
+  return m;
+}
+
+Matrix moment_matrix(const Layout& layout, const std::vector<std::size_t>& ids, double cx,
+                     double cy, int p) {
+  Matrix m(moment_count(p), ids.size());
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    const Vector col = contact_moments(layout.contact(ids[j]), layout.panel_size(), cx, cy, p);
+    m.set_col(j, col);
+  }
+  return m;
+}
+
+Matrix moment_shift(double tx, double ty, int p) {
+  // (x - t)^alpha = sum_k C(alpha,k) x^k (-t)^{alpha-k}; the new-center
+  // monomial is a combination of old-center monomials of lower order.
+  const std::size_t d = moment_count(p);
+  Matrix s(d, d);
+  for (int order = 0; order <= p; ++order) {
+    for (int alpha = order; alpha >= 0; --alpha) {
+      const int beta = order - alpha;
+      const std::size_t row = moment_index(alpha, beta);
+      for (int k = 0; k <= alpha; ++k) {
+        for (int l = 0; l <= beta; ++l) {
+          const double coeff = binomial(alpha, k) * binomial(beta, l) *
+                               std::pow(-tx, alpha - k) * std::pow(-ty, beta - l);
+          s(row, moment_index(k, l)) += coeff;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace subspar

@@ -1,0 +1,40 @@
+// Polynomial contact moments (§3.2.1).
+//
+// The wavelet basis requires, per square s and voltage function sigma, the
+// moments
+//   mu_{alpha,beta,s}(sigma) = int_{C_s} x'^alpha y'^beta sigma(x,y) dA,
+// with (x', y') relative to the square centroid and alpha + beta <= p. For
+// panel-rectangle contacts these integrals are exact polynomials, evaluated
+// analytically here. Moment vectors translate between expansion centers
+// through the (binomial) shift matrix, which is what lets the coarser-level
+// construction reuse child-square moments (§3.4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "geometry/layout.hpp"
+#include "linalg/matrix.hpp"
+
+namespace subspar {
+
+/// Number of monomials x^a y^b with a + b <= p: (p+1)(p+2)/2.
+std::size_t moment_count(int p);
+
+/// Flat index of the (alpha, beta) moment in the canonical ordering
+/// (by total order, then descending alpha): (0,0),(1,0),(0,1),(2,0),...
+std::size_t moment_index(int alpha, int beta);
+
+/// Moments of the characteristic function of contact `c` (1 V on the
+/// contact) about center (cx, cy), orders 0..p. Physical units.
+Vector contact_moments(const Contact& c, double panel_size, double cx, double cy, int p);
+
+/// Moment matrix M_s (eq. 3.14): moment_count(p) rows, one column per
+/// contact id in `ids`, about center (cx, cy).
+Matrix moment_matrix(const Layout& layout, const std::vector<std::size_t>& ids, double cx,
+                     double cy, int p);
+
+/// Shift matrix S with moments_about(c + t) = S * moments_about(c), where
+/// t = (tx, ty) is the displacement of the *new* center from the old one.
+Matrix moment_shift(double tx, double ty, int p);
+
+}  // namespace subspar

@@ -1,0 +1,83 @@
+// Multilevel square hierarchy over the substrate surface (§3.2, §4.3).
+//
+// Level l partitions the surface into 2^l x 2^l squares. Contacts are
+// assigned to the finest-level square that contains them (layout generators
+// guarantee containment; the constructor verifies it). The tree exposes the
+// interactive / local square relations of the low-rank method (Greengard's
+// convention, Fig. 4-4) and the cross-level well-separated rule of the
+// combine-solves technique (§3.5).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+namespace subspar {
+
+struct SquareId {
+  int level = 0;  ///< 0 = whole surface
+  int ix = 0, iy = 0;
+
+  friend bool operator==(const SquareId&, const SquareId&) = default;
+  friend auto operator<=>(const SquareId&, const SquareId&) = default;
+};
+
+class QuadTree {
+ public:
+  /// Builds levels 0..max_level. max_level < 0 selects the deepest level at
+  /// which no contact crosses a square boundary. The layout surface must be
+  /// square with a power-of-two panel count.
+  explicit QuadTree(const Layout& layout, int max_level = -1);
+
+  int max_level() const { return max_level_; }
+  const Layout& layout() const { return *layout_; }
+
+  /// Non-empty squares on a level, in (iy, ix) scan order.
+  const std::vector<SquareId>& squares(int level) const;
+  /// Contacts inside a square (empty vector for empty squares).
+  const std::vector<std::size_t>& contacts_in(const SquareId& s) const;
+  bool is_empty(const SquareId& s) const { return contacts_in(s).empty(); }
+
+  /// Finest-level square owning contact i.
+  SquareId home_square(std::size_t contact) const { return home_[contact]; }
+
+  SquareId parent(const SquareId& s) const;
+  SquareId ancestor(const SquareId& s, int level) const;
+  std::vector<SquareId> children(const SquareId& s) const;  ///< non-empty only
+
+  /// Physical center of a square.
+  std::pair<double, double> center(const SquareId& s) const;
+  /// Physical side length of level-l squares.
+  double side(int level) const;
+
+  /// Same level, Chebyshev distance <= 1 (the "local" relation L_s incl. s).
+  static bool adjacent_or_same(const SquareId& a, const SquareId& b);
+
+  /// Interactive squares I_s: same level, not local, parents local (§4.3).
+  /// Non-empty squares only.
+  std::vector<SquareId> interactive(const SquareId& s) const;
+  /// Local squares L_s (including s itself). Non-empty squares only.
+  std::vector<SquareId> local(const SquareId& s) const;
+
+  /// Cross-level well-separated rule of §3.5: for levels l <= l', squares s
+  /// (level l) and s' (level l') interact weakly iff the level-l ancestor of
+  /// s' is neither s nor a neighbor of s. Symmetric in its arguments.
+  bool well_separated(const SquareId& a, const SquareId& b) const;
+
+  /// Number of contacts below a square.
+  std::size_t contact_count(const SquareId& s) const { return contacts_in(s).size(); }
+
+ private:
+  const Layout* layout_;
+  int max_level_;
+  // Per level: map from (ix, iy) to contact list; squares() caches id lists.
+  std::vector<std::map<std::pair<int, int>, std::vector<std::size_t>>> cells_;
+  std::vector<std::vector<SquareId>> square_lists_;
+  std::vector<SquareId> home_;
+  static const std::vector<std::size_t> kEmpty;
+};
+
+}  // namespace subspar

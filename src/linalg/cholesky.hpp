@@ -1,0 +1,27 @@
+// Dense Cholesky factorization A = L L' for symmetric positive definite A.
+// Used for reference solves in tests and as the exact counterpart of the
+// incomplete-Cholesky preconditioner of §2.2.2.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace subspar {
+
+class Cholesky {
+ public:
+  /// Factors the SPD matrix `a`. Throws std::invalid_argument if a pivot is
+  /// not strictly positive (matrix not positive definite to working
+  /// precision).
+  explicit Cholesky(const Matrix& a);
+
+  const Matrix& lower() const { return l_; }
+  Vector solve(const Vector& b) const;
+  Matrix solve(const Matrix& b) const;
+  /// log(det A) = 2 sum log diag(L); cheap conditioning diagnostic.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace subspar

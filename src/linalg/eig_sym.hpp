@@ -1,0 +1,20 @@
+// Symmetric eigendecomposition via the classical cyclic Jacobi method.
+// Used for conditioning diagnostics (PCG iteration-count analysis of §2.2.2)
+// and as an independent cross-check of the SVD in the test suite.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace subspar {
+
+struct EigSym {
+  Vector values;   ///< eigenvalues, ascending
+  Matrix vectors;  ///< corresponding orthonormal eigenvectors in columns
+};
+
+/// Eigendecomposition of a symmetric matrix (symmetry is required; only the
+/// lower triangle is trusted as authoritative if the input is slightly
+/// asymmetric from roundoff).
+EigSym eig_sym(const Matrix& a);
+
+}  // namespace subspar

@@ -1,0 +1,96 @@
+#include "linalg/ic0.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+SparseMatrix ic0(const SparseMatrix& a) {
+  SUBSPAR_REQUIRE(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  // Row-wise working storage for L: sorted (col, val) pairs, cols <= row.
+  std::vector<std::vector<std::pair<std::size_t, double>>> l(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const std::size_t j = a.col_index(k);
+      if (j > i) continue;
+      const double aij = a.value(k);
+      if (j == i) {
+        diag = aij;
+        continue;
+      }
+      // L(i,j) = (A(i,j) - sum_{t<j} L(i,t) L(j,t)) / L(j,j), restricted to
+      // the pattern (sparse dot of rows i and j of L).
+      double s = aij;
+      std::size_t pi = 0, pj = 0;
+      const auto& ri = l[i];
+      const auto& rj = l[j];
+      while (pi < ri.size() && pj < rj.size()) {
+        if (ri[pi].first == rj[pj].first) {
+          s -= ri[pi].second * rj[pj].second;
+          ++pi;
+          ++pj;
+        } else if (ri[pi].first < rj[pj].first) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      SUBSPAR_ENSURE(!rj.empty() && rj.back().first == j);  // L(j,j) stored last
+      l[i].emplace_back(j, s / rj.back().second);
+    }
+    double s = diag;
+    for (const auto& [c, v] : l[i]) s -= v * v;
+    // Breakdown repair: IC(0) can produce non-positive pivots for matrices
+    // that are positive definite but not M-matrices; shift keeps the factor
+    // usable as a preconditioner.
+    if (s <= 0.0) s = std::max(1e-12, 1e-3 * std::abs(diag));
+    l[i].emplace_back(i, std::sqrt(s));
+  }
+
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const auto& [c, v] : l[i]) b.add(i, c, v);
+  return SparseMatrix(b);
+}
+
+Vector ic0_solve(const SparseMatrix& la, const Vector& b) {
+  const std::size_t n = la.rows();
+  SUBSPAR_REQUIRE(b.size() == n && la.cols() == n);
+  // Forward: L y = b (rows of L hold columns <= i, diagonal last).
+  Vector y = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    double dii = 0.0;
+    for (std::size_t k = la.row_begin(i); k < la.row_end(i); ++k) {
+      const std::size_t j = la.col_index(k);
+      if (j == i) {
+        dii = la.value(k);
+      } else {
+        s -= la.value(k) * y[j];
+      }
+    }
+    SUBSPAR_ENSURE(dii != 0.0);
+    y[i] = s / dii;
+  }
+  // Backward: L' x = y, via column scatter from the rows of L.
+  Vector x = y;
+  for (std::size_t ii = n; ii-- > 0;) {
+    double dii = 0.0;
+    for (std::size_t k = la.row_begin(ii); k < la.row_end(ii); ++k)
+      if (la.col_index(k) == ii) dii = la.value(k);
+    x[ii] /= dii;
+    const double xi = x[ii];
+    for (std::size_t k = la.row_begin(ii); k < la.row_end(ii); ++k) {
+      const std::size_t j = la.col_index(k);
+      if (j != ii) x[j] -= la.value(k) * xi;
+    }
+  }
+  return x;
+}
+
+}  // namespace subspar

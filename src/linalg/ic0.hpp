@@ -1,0 +1,23 @@
+// Incomplete Cholesky IC(0) preconditioner (§2.2.2, "ICCG").
+//
+// The paper's first attempt at preconditioning the finite-difference
+// Laplacian: Cholesky restricted to the sparsity pattern of A. Kept here
+// both as a baseline row of the Table 2.1 study and as a generally useful
+// sparse preconditioner.
+#pragma once
+
+#include "linalg/sparse.hpp"
+
+namespace subspar {
+
+/// Returns the lower-triangular IC(0) factor La of an SPD CSR matrix, with
+/// nonzeros only where the lower triangle of A has them (no fill-in).
+/// Diagonal breakdowns (non-positive pivots) are repaired by the standard
+/// shift-to-positive fallback so the factor is always usable as a
+/// preconditioner.
+SparseMatrix ic0(const SparseMatrix& a);
+
+/// Applies (La La')^{-1} via forward and backward substitution.
+Vector ic0_solve(const SparseMatrix& la, const Vector& b);
+
+}  // namespace subspar

@@ -1,0 +1,134 @@
+#include "linalg/iterative.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+
+Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats* stats,
+           const LinearOp& precond) {
+  const std::size_t n = b.size();
+  Vector x(n);
+  Vector r = b;  // x0 = 0
+  const double bnorm = norm2(b);
+  IterStats local;
+  if (bnorm == 0.0) {
+    local.converged = true;
+    if (stats) *stats = local;
+    return x;
+  }
+  Vector z = precond ? precond(r) : r;
+  Vector p = z;
+  double rz = dot(r, z);
+  for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    const Vector ap = a(p);
+    const double pap = dot(p, ap);
+    SUBSPAR_ENSURE(pap > 0.0);  // operator (or preconditioner) not SPD otherwise
+    const double alpha = rz / pap;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    local.iterations = it + 1;
+    const double rnorm = norm2(r);
+    if (rnorm <= opt.rel_tol * bnorm) {
+      local.converged = true;
+      local.relative_residual = rnorm / bnorm;
+      if (stats) *stats = local;
+      return x;
+    }
+    z = precond ? precond(r) : r;
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  local.relative_residual = norm2(r) / bnorm;
+  if (stats) *stats = local;
+  return x;
+}
+
+Vector gmres(const LinearOp& a, const Vector& b, std::size_t restart, const IterOptions& opt,
+             IterStats* stats) {
+  SUBSPAR_REQUIRE(restart >= 1);
+  const std::size_t n = b.size();
+  Vector x(n);
+  const double bnorm = norm2(b);
+  IterStats local;
+  if (bnorm == 0.0) {
+    local.converged = true;
+    if (stats) *stats = local;
+    return x;
+  }
+  std::size_t total_iters = 0;
+  while (total_iters < opt.max_iterations) {
+    Vector r = b - a(x);
+    double beta = norm2(r);
+    if (beta <= opt.rel_tol * bnorm) {
+      local.converged = true;
+      break;
+    }
+    const std::size_t m = restart;
+    std::vector<Vector> v;
+    v.reserve(m + 1);
+    v.push_back((1.0 / beta) * r);
+    Matrix h(m + 1, m);                 // Hessenberg
+    std::vector<double> cs(m), sn(m);   // Givens rotations
+    Vector g(m + 1);
+    g[0] = beta;
+    std::size_t k = 0;
+    for (; k < m && total_iters < opt.max_iterations; ++k, ++total_iters) {
+      Vector w = a(v[k]);
+      // Modified Gram-Schmidt.
+      for (std::size_t i = 0; i <= k; ++i) {
+        h(i, k) = dot(w, v[i]);
+        w.axpy(-h(i, k), v[i]);
+      }
+      h(k + 1, k) = norm2(w);
+      if (h(k + 1, k) > 0.0) v.push_back((1.0 / h(k + 1, k)) * w);
+      // Apply accumulated rotations, then generate a new one.
+      for (std::size_t i = 0; i < k; ++i) {
+        const double t = cs[i] * h(i, k) + sn[i] * h(i + 1, k);
+        h(i + 1, k) = -sn[i] * h(i, k) + cs[i] * h(i + 1, k);
+        h(i, k) = t;
+      }
+      const double denom = std::hypot(h(k, k), h(k + 1, k));
+      cs[k] = denom == 0.0 ? 1.0 : h(k, k) / denom;
+      sn[k] = denom == 0.0 ? 0.0 : h(k + 1, k) / denom;
+      h(k, k) = denom;
+      h(k + 1, k) = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      if (std::abs(g[k + 1]) <= opt.rel_tol * bnorm) {
+        ++k;
+        break;
+      }
+      if (h(k, k) == 0.0) break;  // breakdown: x is already exact in span
+    }
+    // Solve the small triangular system and update x.
+    Vector y(k);
+    for (std::size_t ii = k; ii-- > 0;) {
+      double s = g[ii];
+      for (std::size_t j = ii + 1; j < k; ++j) s -= h(ii, j) * y[j];
+      y[ii] = h(ii, ii) == 0.0 ? 0.0 : s / h(ii, ii);
+    }
+    for (std::size_t i = 0; i < k; ++i) x.axpy(y[i], v[i]);
+    if (k < m) {  // converged (or breakdown) inside the cycle
+      const Vector rr = b - a(x);
+      local.relative_residual = norm2(rr) / bnorm;
+      local.converged = local.relative_residual <= opt.rel_tol * 10.0;
+      break;
+    }
+  }
+  local.iterations = total_iters;
+  if (local.relative_residual == 0.0) {
+    const Vector rr = b - a(x);
+    local.relative_residual = norm2(rr) / bnorm;
+    local.converged = local.relative_residual <= opt.rel_tol * 10.0;
+  }
+  if (stats) *stats = local;
+  return x;
+}
+
+}  // namespace subspar

@@ -1,0 +1,40 @@
+// Krylov-subspace solvers operating on black-box operators (§2.2.2).
+//
+// Both substrate solvers use PCG: the finite-difference solver with the
+// fast-Poisson-solver preconditioners of Table 2.1 (or incomplete Cholesky),
+// the eigenfunction solver unpreconditioned. GMRES(m) is provided for
+// non-symmetric experimentation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector.hpp"
+
+namespace subspar {
+
+/// y = A x for a black-box linear operator.
+using LinearOp = std::function<Vector(const Vector&)>;
+
+struct IterStats {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;  ///< ||b - A x|| / ||b|| at exit
+  bool converged = false;
+};
+
+struct IterOptions {
+  double rel_tol = 1e-9;
+  std::size_t max_iterations = 1000;
+};
+
+/// Preconditioned conjugate gradient for SPD A (and SPD preconditioner
+/// M^{-1}, passed as an operator; identity if omitted). Returns the solution
+/// and fills `stats`.
+Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats* stats,
+           const LinearOp& precond = nullptr);
+
+/// Restarted GMRES(m).
+Vector gmres(const LinearOp& a, const Vector& b, std::size_t restart, const IterOptions& opt,
+             IterStats* stats);
+
+}  // namespace subspar

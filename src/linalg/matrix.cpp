@@ -1,0 +1,164 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace subspar {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  SUBSPAR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  SUBSPAR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double a) {
+  for (auto& v : data_) v *= a;
+  return *this;
+}
+
+Vector Matrix::col(std::size_t j) const {
+  SUBSPAR_REQUIRE(j < cols_);
+  Vector v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+Vector Matrix::row(std::size_t i) const {
+  SUBSPAR_REQUIRE(i < rows_);
+  Vector v(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) v[j] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::set_col(std::size_t j, const Vector& v) {
+  SUBSPAR_REQUIRE(j < cols_ && v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+  SUBSPAR_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  return b;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  SUBSPAR_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) (*this)(r0 + i, c0 + j) = b(i, j);
+}
+
+Matrix Matrix::hcat(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  SUBSPAR_REQUIRE(a.rows() == b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  c.set_block(0, 0, a);
+  c.set_block(0, a.cols(), b);
+  return c;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  SUBSPAR_REQUIRE(a.cols() == x.size());
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, const Vector& x) {
+  SUBSPAR_REQUIRE(a.rows() == x.size());
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    const double xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  SUBSPAR_REQUIRE(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  SUBSPAR_REQUIRE(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_ptr(k);
+    const double* brow = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  SUBSPAR_REQUIRE(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+}  // namespace subspar

@@ -1,0 +1,104 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+QR::QR(const Matrix& a) : qr_(a), beta_(a.cols()) {
+  const std::size_t m = a.rows(), n = a.cols();
+  SUBSPAR_REQUIRE(m >= n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double sigma = 0.0;
+    for (std::size_t i = k; i < m; ++i) sigma += qr_(i, k) * qr_(i, k);
+    const double alpha = std::sqrt(sigma);
+    if (alpha == 0.0) {
+      beta_[k] = 0.0;  // column already zero below diagonal
+      continue;
+    }
+    const double akk = qr_(k, k);
+    const double rkk = (akk >= 0.0) ? -alpha : alpha;  // sign avoids cancellation
+    // v = x - rkk*e1; store v (normalized so v[k] = 1) below the diagonal.
+    const double vk = akk - rkk;
+    beta_[k] = -vk / rkk;  // beta = 2 / (v'v) with this normalization
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= vk;
+    qr_(k, k) = rkk;
+    // Apply H = I - beta v v' to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= beta_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+Matrix QR::apply_q(Matrix x, bool transpose) const {
+  // Q = H_0 H_1 ... H_{n-1}; Q' applies them in forward order, Q in reverse.
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  SUBSPAR_REQUIRE(x.rows() == m);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t k = transpose ? t : n - 1 - t;
+    if (beta_[k] == 0.0) continue;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      double s = x(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * x(i, j);
+      s *= beta_[k];
+      x(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) x(i, j) -= s * qr_(i, k);
+    }
+  }
+  return x;
+}
+
+Matrix QR::thin_q() const {
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  Matrix e(m, n);
+  for (std::size_t j = 0; j < n; ++j) e(j, j) = 1.0;
+  return apply_q(std::move(e), /*transpose=*/false);
+}
+
+Matrix QR::full_q() const {
+  return apply_q(Matrix::identity(qr_.rows()), /*transpose=*/false);
+}
+
+Matrix QR::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Vector QR::solve(const Vector& b) const {
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  SUBSPAR_REQUIRE(b.size() == m);
+  Matrix bm(m, 1);
+  for (std::size_t i = 0; i < m; ++i) bm(i, 0) = b[i];
+  const Matrix qtb = apply_q(std::move(bm), /*transpose=*/true);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = qtb(ii, 0);
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    SUBSPAR_REQUIRE(qr_(ii, ii) != 0.0);
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+Matrix orthonormal_complement(const Matrix& u, std::size_t n) {
+  const std::size_t r = u.cols();
+  SUBSPAR_REQUIRE(u.rows() == n || r == 0);
+  SUBSPAR_REQUIRE(r <= n);
+  if (r == n) return Matrix(n, 0);
+  if (r == 0) return Matrix::identity(n);
+  // Full Q of QR(U): its first r columns span range(U), the rest span the
+  // complement (U has full column rank because its columns are orthonormal).
+  const Matrix q = QR(u).full_q();
+  return q.block(0, r, n, n - r);
+}
+
+}  // namespace subspar

@@ -1,0 +1,36 @@
+// Householder QR factorization. Besides least-squares solves, QR supplies
+// `orthonormal_complement`, which both sparsifiers use to turn a partial
+// orthonormal basis V_s into the full split (V_s | W_s) of a square's
+// voltage space (eq. 3.14 / §4.3.1).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace subspar {
+
+class QR {
+ public:
+  /// Factors an m x n matrix with m >= n.
+  explicit QR(const Matrix& a);
+
+  /// Thin Q: m x n with orthonormal columns.
+  Matrix thin_q() const;
+  /// Full Q: m x m orthogonal.
+  Matrix full_q() const;
+  /// Upper-triangular R (n x n).
+  Matrix r() const;
+  /// Least-squares solve min ||A x - b||.
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix qr_;      // packed Householder vectors below the diagonal, R above
+  Vector beta_;    // Householder scalars
+  Matrix apply_q(Matrix x, bool transpose) const;
+};
+
+/// Given U (n x r) with orthonormal columns (r <= n), returns an
+/// n x (n - r) matrix with orthonormal columns spanning the orthogonal
+/// complement of range(U), so that [U W] is orthogonal.
+Matrix orthonormal_complement(const Matrix& u, std::size_t n);
+
+}  // namespace subspar

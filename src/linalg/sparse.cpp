@@ -1,0 +1,101 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+void SparseBuilder::add(std::size_t r, std::size_t c, double v) {
+  SUBSPAR_REQUIRE(r < rows_ && c < cols_);
+  r_.push_back(r);
+  c_.push_back(c);
+  v_.push_back(v);
+}
+
+SparseMatrix::SparseMatrix(const SparseBuilder& b, double drop_tol)
+    : rows_(b.rows_), cols_(b.cols_) {
+  // Counting sort by row, then sort each row's segment by column and merge
+  // duplicates.
+  std::vector<std::size_t> order(b.r_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return b.r_[x] != b.r_[y] ? b.r_[x] < b.r_[y] : b.c_[x] < b.c_[y];
+  });
+  rowptr_.assign(rows_ + 1, 0);
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const std::size_t k = order[t];
+    const std::size_t r = b.r_[k], c = b.c_[k];
+    double v = b.v_[k];
+    while (t + 1 < order.size() && b.r_[order[t + 1]] == r && b.c_[order[t + 1]] == c) {
+      ++t;
+      v += b.v_[order[t]];
+    }
+    if (std::abs(v) <= drop_tol) continue;
+    colidx_.push_back(c);
+    val_.push_back(v);
+    ++rowptr_[r + 1];
+  }
+  for (std::size_t i = 0; i < rows_; ++i) rowptr_[i + 1] += rowptr_[i];
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& a, double drop_tol) {
+  SparseBuilder b(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (std::abs(a(i, j)) > drop_tol) b.add(i, j, a(i, j));
+  return SparseMatrix(b);
+}
+
+double SparseMatrix::sparsity_factor() const {
+  if (nnz() == 0) return 0.0;
+  return static_cast<double>(rows_) * static_cast<double>(cols_) / static_cast<double>(nnz());
+}
+
+Vector SparseMatrix::apply(const Vector& x) const {
+  SUBSPAR_REQUIRE(x.size() == cols_);
+  Vector y(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) s += val_[k] * x[colidx_[k]];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::apply_t(const Vector& x) const {
+  SUBSPAR_REQUIRE(x.size() == rows_);
+  Vector y(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) y[colidx_[k]] += val_[k] * xi;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix a(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) a(i, colidx_[k]) = val_[k];
+  return a;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseBuilder b(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) b.add(colidx_[k], i, val_[k]);
+  return SparseMatrix(b);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SparseMatrix::coordinates() const {
+  std::vector<std::pair<std::size_t, std::size_t>> coords;
+  coords.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) coords.emplace_back(i, colidx_[k]);
+  return coords;
+}
+
+}  // namespace subspar

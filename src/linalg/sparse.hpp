@@ -1,0 +1,71 @@
+// Compressed sparse row (CSR) matrices.
+//
+// Sparse matrices appear in three roles: the 7-point finite-difference
+// Laplacian of §2.2, the change-of-basis matrix Q of both sparsifiers, and
+// the sparsified transformed conductance matrices G_ws / G_wt. The paper's
+// "sparsity" metric n^2 / nnz is provided here.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace subspar {
+
+/// Triplet accumulator; duplicate (row, col) entries are summed on build.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+  void add(std::size_t r, std::size_t c, double v);
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  friend class SparseMatrix;
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> r_, c_;
+  std::vector<double> v_;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(const SparseBuilder& b, double drop_tol = 0.0);
+
+  /// Dense-to-sparse conversion keeping |a(i,j)| > drop_tol.
+  static SparseMatrix from_dense(const Matrix& a, double drop_tol = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+  /// Paper metric: total entries / nonzeros ("sparsity of the matrix").
+  double sparsity_factor() const;
+
+  Vector apply(const Vector& x) const;    ///< y = A x
+  Vector apply_t(const Vector& x) const;  ///< y = A' x
+
+  Matrix to_dense() const;
+  SparseMatrix transposed() const;
+
+  /// Row access for iteration: [col_index(k), value(k)) for k in
+  /// [row_begin(i), row_end(i)).
+  std::size_t row_begin(std::size_t i) const { return rowptr_[i]; }
+  std::size_t row_end(std::size_t i) const { return rowptr_[i + 1]; }
+  std::size_t col_index(std::size_t k) const { return colidx_[k]; }
+  double value(std::size_t k) const { return val_[k]; }
+
+  /// (row, col) coordinates of all nonzeros, for spy plots.
+  std::vector<std::pair<std::size_t, std::size_t>> coordinates() const;
+
+ private:
+  friend SparseMatrix ic0(const SparseMatrix&);
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> rowptr_{0};
+  std::vector<std::size_t> colidx_;
+  std::vector<double> val_;
+};
+
+}  // namespace subspar

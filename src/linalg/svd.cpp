@@ -1,0 +1,109 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: right-multiplies plane
+// rotations until all column pairs are orthogonal. On exit `a` holds U*Sigma
+// and `v` accumulates the rotations.
+void one_sided_jacobi(Matrix& a, Matrix& v) {
+  const std::size_t m = a.rows(), n = a.cols();
+  v = Matrix::identity(n);
+  if (n < 2) return;
+  const double tol = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double ap = a(i, p), aq = a(i, q);
+          app += ap * ap;
+          aqq += aq * aq;
+          apq += ap * aq;
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) continue;
+        converged = false;
+        // Jacobi rotation that zeroes the (p,q) Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double ap = a(i, p), aq = a(i, q);
+          a(i, p) = c * ap - s * aq;
+          a(i, q) = s * ap + c * aq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+}
+
+Svd svd_tall(const Matrix& a_in) {
+  Matrix a = a_in;
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix v;
+  one_sided_jacobi(a, v);
+
+  Vector sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+  // Sort columns by descending singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  Svd out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.sigma = Vector(n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    out.sigma[jj] = sigma[j];
+    if (sigma[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = a(i, j) / sigma[j];
+    }
+    // Zero singular value: leave the U column zero; callers that need a full
+    // orthonormal U use orthonormal_complement on the kept columns.
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Svd svd(const Matrix& a) {
+  SUBSPAR_REQUIRE(!a.empty());
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  Svd t = svd_tall(a.transposed());
+  std::swap(t.u, t.v);
+  return t;
+}
+
+std::size_t numerical_rank(const Vector& sigma, double rel_tol) {
+  if (sigma.empty() || sigma[0] <= 0.0) return 0;
+  const double cut = rel_tol * sigma[0];
+  std::size_t r = 0;
+  while (r < sigma.size() && sigma[r] >= cut) ++r;
+  return r;
+}
+
+}  // namespace subspar

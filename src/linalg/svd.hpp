@@ -1,0 +1,29 @@
+// Singular value decomposition via one-sided Jacobi.
+//
+// The SVD is the workhorse of both sparsifiers: the wavelet basis splits a
+// square's voltage space with the SVD of its moment matrix (eq. 3.15), and
+// the low-rank method builds row bases from SVDs of sampled response
+// matrices (eq. 4.19) and recombines child bases in the fine-to-coarse sweep
+// (eq. 4.27). Every such matrix is small (tens on a side), so the very
+// accurate O(n^3)-per-sweep one-sided Jacobi iteration is the right tool.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace subspar {
+
+struct Svd {
+  Matrix u;          ///< m x k with orthonormal columns (k = min(m, n))
+  Vector sigma;      ///< k singular values, descending
+  Matrix v;          ///< n x k with orthonormal columns; A ~= U diag(sigma) V'
+};
+
+/// Thin SVD of an arbitrary m x n matrix.
+Svd svd(const Matrix& a);
+
+/// Number of singular values >= rel_tol * sigma_max (0 for an all-zero
+/// matrix). The paper's "large singular value" criterion uses rel_tol = 1e-2
+/// with an additional cap (§4.6); the cap is applied by callers.
+std::size_t numerical_rank(const Vector& sigma, double rel_tol);
+
+}  // namespace subspar

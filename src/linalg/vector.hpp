@@ -1,0 +1,80 @@
+// Dense real vector with the handful of BLAS-1 operations the solvers and
+// sparsifiers need. Kept header-only: every member is a short loop.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+  const std::vector<double>& raw() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t n, double v = 0.0) { data_.resize(n, v); }
+
+  Vector& operator+=(const Vector& o) {
+    SUBSPAR_REQUIRE(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] += o[i];
+    return *this;
+  }
+  Vector& operator-=(const Vector& o) {
+    SUBSPAR_REQUIRE(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] -= o[i];
+    return *this;
+  }
+  Vector& operator*=(double a) {
+    for (auto& v : data_) v *= a;
+    return *this;
+  }
+
+  friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+  friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+  friend Vector operator*(double a, Vector v) { return v *= a; }
+  friend Vector operator*(Vector v, double a) { return v *= a; }
+
+  /// y += a * x (BLAS axpy).
+  void axpy(double a, const Vector& x) {
+    SUBSPAR_REQUIRE(size() == x.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] += a * x[i];
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+inline double dot(const Vector& a, const Vector& b) {
+  SUBSPAR_REQUIRE(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+inline double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i]));
+  return m;
+}
+
+}  // namespace subspar

@@ -1,0 +1,48 @@
+#include "lowrank/extract.hpp"
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+SparseMatrix lowrank_fill_gw(const RowBasisRep& rep, const LowRankBasis& basis) {
+  const QuadTree& tree = rep.tree();
+  const std::size_t n = basis.n();
+  SymmetricEntryAccumulator acc(n);
+
+  // Level-2 leftover (U) columns: dense rows/columns of G_w.
+  for (const std::size_t k : basis.root_columns()) {
+    const Vector u = rep.apply(basis.column_vector(k));
+    for (std::size_t j = 0; j < n; ++j) acc.record(j, k, basis.column_dot(j, u));
+  }
+
+  // T columns: entries against T vectors of non-well-separated squares at
+  // the same or finer levels (coarser-level entries come from symmetry).
+  for (int lev = 2; lev <= tree.max_level(); ++lev) {
+    for (const SquareId& s : tree.squares(lev)) {
+      for (const std::size_t col_idx : basis.w_columns(s)) {
+        const Vector u = rep.apply(basis.column_vector(col_idx));
+        for (const SquareId& t : tree.local(s)) {
+          for (const SquareId& sp : subtree_squares(tree, t)) {
+            for (const std::size_t row_idx : basis.w_columns(sp)) {
+              acc.record(row_idx, col_idx, basis.column_dot(row_idx, u));
+            }
+          }
+        }
+      }
+    }
+  }
+  return acc.build();
+}
+
+LowRankExtraction lowrank_extract(const SubstrateSolver& solver, const QuadTree& tree,
+                                  LowRankOptions options) {
+  LowRankExtraction out;
+  const long before = solver.solve_count();
+  out.rep = std::make_unique<RowBasisRep>(solver, tree, options);
+  out.basis = std::make_unique<LowRankBasis>(*out.rep);
+  out.gw = lowrank_fill_gw(*out.rep, *out.basis);
+  out.solves = solver.solve_count() - before;
+  return out;
+}
+
+}  // namespace subspar

@@ -1,0 +1,23 @@
+// Phase 2 of the low-rank method: the fine-to-coarse sweep (§4.4).
+//
+// Starting from U_s = V_s, T_s = W_s on the finest level, each parent square
+// recombines its children's slow-decaying U blocks: the SVD of the
+// interactive-region response G_{I_p, p} X_p (computed from the phase-1
+// row-basis data, eq. 4.16 — no further black-box solves) splits X_p into
+// new slow-decaying U_p (large singular values) and fast-decaying T_p
+// (eq. 4.27). The T blocks of levels 2..L plus the level-2 U leftovers form
+// the same orthogonal wavelet-structured Q as Chapter 3, so the pattern,
+// thresholding, and error machinery are shared.
+#pragma once
+
+#include "lowrank/row_basis.hpp"
+#include "wavelet/transform_basis.hpp"
+
+namespace subspar {
+
+class LowRankBasis : public TransformBasis {
+ public:
+  explicit LowRankBasis(const RowBasisRep& rep);
+};
+
+}  // namespace subspar

@@ -1,0 +1,415 @@
+#include "lowrank/row_basis.hpp"
+#include <algorithm>
+
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+
+std::vector<std::size_t> positions_in(const std::vector<std::size_t>& sub,
+                                      const std::vector<std::size_t>& super) {
+  std::vector<std::size_t> pos;
+  pos.reserve(sub.size());
+  std::size_t j = 0;
+  for (const std::size_t id : sub) {
+    while (j < super.size() && super[j] < id) ++j;
+    SUBSPAR_REQUIRE(j < super.size() && super[j] == id);
+    pos.push_back(j);
+  }
+  return pos;
+}
+
+namespace {
+
+Vector restrict_to(const Vector& full, const std::vector<std::size_t>& ids) {
+  Vector out(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) out[i] = full[ids[i]];
+  return out;
+}
+
+// Extends a block over `sub` contacts to one over `super` contacts.
+Matrix extend_rows(const Matrix& x, const std::vector<std::size_t>& pos, std::size_t super_rows) {
+  Matrix out(super_rows, x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) out(pos[i], j) = x(i, j);
+  return out;
+}
+
+Matrix restrict_rows(const Matrix& x, const std::vector<std::size_t>& pos) {
+  Matrix out(pos.size(), x.cols());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = x(pos[i], j);
+  return out;
+}
+
+}  // namespace
+
+RowBasisRep::RowBasisRep(const SubstrateSolver& solver, const QuadTree& tree,
+                         LowRankOptions options)
+    : tree_(&tree), options_(options) {
+  SUBSPAR_REQUIRE(options.max_rank >= 1);
+  const long before = solver.solve_count();
+  build_level2(solver);
+  for (int lev = 3; lev <= tree.max_level(); ++lev) build_level(solver, lev);
+  build_finest(solver);
+  solves_ = solver.solve_count() - before;
+}
+
+const std::vector<std::size_t>& RowBasisRep::contacts(const SquareId& s) const {
+  return tree_->contacts_in(s);
+}
+
+const Matrix& RowBasisRep::v(const SquareId& s) const { return reps_.at(s).v; }
+
+const Matrix& RowBasisRep::response(const SquareId& s, const SquareId& q) const {
+  return reps_.at(s).response.at(q);
+}
+
+bool RowBasisRep::has_response(const SquareId& s, const SquareId& q) const {
+  const auto it = reps_.find(s);
+  return it != reps_.end() && it->second.response.count(q) > 0;
+}
+
+const Matrix& RowBasisRep::finest_w(const SquareId& s) const { return finest_w_.at(s); }
+
+const Matrix& RowBasisRep::finest_local_g(const SquareId& q, const SquareId& s) const {
+  return finest_g_.at({q, s});
+}
+
+// ---------------------------------------------------------------- level 2
+
+void RowBasisRep::build_level2(const SubstrateSolver& solver) {
+  const QuadTree& tree = *tree_;
+  const std::size_t n = tree.layout().n_contacts();
+  Rng rng(options_.seed);
+
+  // One random sample vector per square; responses by direct solves (the
+  // coarsest level has only up to 16 squares, §4.3.3).
+  std::map<SquareId, Vector> sample_response;
+  for (const SquareId& s : tree.squares(2)) {
+    const auto& ids = contacts(s);
+    Vector m(n);
+    for (const std::size_t id : ids) m[id] = rng.normal();
+    sample_response.emplace(s, solver.solve(m));
+  }
+
+  // Row bases from the sampled interactions.
+  for (const SquareId& s : tree.squares(2)) {
+    const auto& ids = contacts(s);
+    std::vector<SquareId> sources = tree.interactive(s);
+    if (sources.empty()) {
+      // Degenerate layout: sample from every non-local square instead.
+      for (const SquareId& t : tree.squares(2))
+        if (!QuadTree::adjacent_or_same(t, s)) sources.push_back(t);
+    }
+    SquareRep rep;
+    if (!sources.empty()) {
+      Matrix samples(ids.size(), sources.size());
+      for (std::size_t c = 0; c < sources.size(); ++c)
+        samples.set_col(c, restrict_to(sample_response.at(sources[c]), ids));
+      const Svd dec = svd(samples);
+      const std::size_t r = std::min({numerical_rank(dec.sigma, options_.sigma_rel_tol),
+                                      options_.max_rank, ids.size()});
+      rep.v = dec.u.block(0, 0, ids.size(), r);
+    } else {
+      rep.v = Matrix(ids.size(), 0);
+    }
+    reps_.emplace(s, std::move(rep));
+  }
+
+  // Responses to the row-basis vectors, by direct solves, recorded over P_s.
+  for (const SquareId& s : tree.squares(2)) {
+    SquareRep& rep = reps_.at(s);
+    const auto& ids = contacts(s);
+    const std::size_t r = rep.v.cols();
+    std::vector<Vector> responses;
+    for (std::size_t k = 0; k < r; ++k) {
+      Vector padded(n);
+      for (std::size_t i = 0; i < ids.size(); ++i) padded[ids[i]] = rep.v(i, k);
+      responses.push_back(solver.solve(padded));
+    }
+    auto region = tree.local(s);
+    for (const SquareId& q : tree.interactive(s)) region.push_back(q);
+    for (const SquareId& q : region) {
+      const auto& qids = contacts(q);
+      Matrix block(qids.size(), r);
+      for (std::size_t k = 0; k < r; ++k) block.set_col(k, restrict_to(responses[k], qids));
+      rep.response.emplace(q, std::move(block));
+    }
+  }
+}
+
+// ------------------------------------------------------- splitting method
+
+std::map<SquareId, RowBasisRep::ResponseBlocks> RowBasisRep::split_responses(
+    const SubstrateSolver& solver, int level, const std::map<SquareId, Matrix>& batches) {
+  const QuadTree& tree = *tree_;
+  const std::size_t n = tree.layout().n_contacts();
+  SUBSPAR_REQUIRE(level >= 3 && level <= tree.max_level());
+
+  // Per square: extend the batch into the parent square's contact space,
+  // split into the parent row-basis part c and the orthogonal remainder o
+  // (eq. 4.22).
+  struct Item {
+    SquareId s, p;
+    Matrix o;  // n_p x k, in (W_p)
+    Matrix c;  // r_p x k
+    std::size_t k = 0;
+  };
+  std::vector<Item> items;
+  std::size_t max_k = 0;
+  for (const auto& [s, x] : batches) {
+    Item it;
+    it.s = s;
+    it.p = tree.parent(s);
+    const auto pos = positions_in(contacts(s), contacts(it.p));
+    const Matrix xp = extend_rows(x, pos, contacts(it.p).size());
+    const Matrix& vp = reps_.at(it.p).v;
+    if (vp.cols() > 0) {
+      it.c = matmul_tn(vp, xp);
+      it.o = xp - matmul(vp, it.c);
+    } else {
+      it.c = Matrix(0, x.cols());
+      it.o = xp;
+    }
+    it.k = x.cols();
+    max_k = std::max(max_k, it.k);
+    items.push_back(std::move(it));
+  }
+
+  std::map<SquareId, ResponseBlocks> out;
+  for (const auto& it : items) {
+    ResponseBlocks blocks;
+    for (const SquareId& q : tree.local(it.p))
+      blocks.emplace(q, Matrix(contacts(q).size(), it.k));
+    out.emplace(it.s, std::move(blocks));
+  }
+
+  // Combine-solves: one solve per (column index, parent 3x3 phase, child
+  // position) group; distinct members' parents are >= 3 squares apart, so
+  // each orthogonal remainder's local response separates (§4.3.1).
+  for (std::size_t k = 0; k < max_k; ++k) {
+    for (int pa = 0; pa < 3; ++pa) {
+      for (int pb = 0; pb < 3; ++pb) {
+        for (int ca = 0; ca < 2; ++ca) {
+          for (int cb = 0; cb < 2; ++cb) {
+            std::vector<const Item*> members;
+            Vector theta(n);
+            for (const auto& it : items) {
+              if (k >= it.k) continue;
+              if (it.p.ix % 3 != pa || it.p.iy % 3 != pb) continue;
+              if (it.s.ix % 2 != ca || it.s.iy % 2 != cb) continue;
+              const auto& pids = contacts(it.p);
+              for (std::size_t i = 0; i < pids.size(); ++i) theta[pids[i]] += it.o(i, k);
+              members.push_back(&it);
+            }
+            if (members.empty()) continue;
+            const Vector u = solver.solve(theta);
+
+            for (const Item* itp : members) {
+              const Item& it = *itp;
+              Vector ocol(it.o.rows());
+              for (std::size_t i = 0; i < ocol.size(); ++i) ocol[i] = it.o(i, k);
+              for (const SquareId& q : tree.local(it.p)) {
+                const auto& qids = contacts(q);
+                const Vector raw = restrict_to(u, qids);
+                // Refinement (eq. 4.24): the in-(V_q) part of the response
+                // comes from the recorded parent-level data; only the
+                // (W_q) part is read off the combined solve.
+                Vector refined = raw;
+                const SquareRep& qrep = reps_.at(q);
+                if (qrep.v.cols() > 0) {
+                  const Vector vq_raw = matvec_t(qrep.v, raw);
+                  refined -= matvec(qrep.v, vq_raw);
+                  if (qrep.response.count(it.p) > 0) {
+                    // (G_{p,q} V_q)' o: rows of the stored block follow
+                    // contacts(p).
+                    const Matrix& gpq_vq = qrep.response.at(it.p);
+                    refined += matvec(qrep.v, matvec_t(gpq_vq, ocol));
+                  }
+                }
+                // Add the parent-row-basis part of the response (eq. 4.22).
+                const SquareRep& prep = reps_.at(it.p);
+                if (prep.v.cols() > 0 && prep.response.count(q) > 0) {
+                  Vector ccol(it.c.rows());
+                  for (std::size_t i = 0; i < ccol.size(); ++i) ccol[i] = it.c(i, k);
+                  refined += matvec(prep.response.at(q), ccol);
+                }
+                Matrix& dst = out.at(it.s).at(q);
+                for (std::size_t i = 0; i < qids.size(); ++i) dst(i, k) = refined[i];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- finer levels
+
+Matrix RowBasisRep::row_basis_from_samples(
+    const SquareId& s, const std::map<SquareId, ResponseBlocks>& sample_responses) {
+  const QuadTree& tree = *tree_;
+  const auto& ids = contacts(s);
+  const auto inter = tree.interactive(s);
+  if (inter.empty()) return Matrix(ids.size(), 0);
+
+  Matrix samples(ids.size(), inter.size());
+  for (std::size_t c = 0; c < inter.size(); ++c) {
+    const SquareId& t = inter[c];
+    const SquareId q = tree.ancestor(s, s.level - 1);
+    const Matrix& block = sample_responses.at(t).at(q);  // over contacts(q)
+    const auto pos = positions_in(ids, contacts(q));
+    for (std::size_t i = 0; i < ids.size(); ++i) samples(i, c) = block(pos[i], 0);
+  }
+  const Svd dec = svd(samples);
+  const std::size_t r = std::min(
+      {numerical_rank(dec.sigma, options_.sigma_rel_tol), options_.max_rank, ids.size()});
+  return dec.u.block(0, 0, ids.size(), r);
+}
+
+void RowBasisRep::build_level(const SubstrateSolver& solver, int level) {
+  const QuadTree& tree = *tree_;
+  Rng rng(options_.seed + static_cast<std::uint64_t>(level) * 0x9e37ULL);
+
+  // Random sample vector per square, responses via the splitting method.
+  std::map<SquareId, Matrix> sample_batches;
+  for (const SquareId& s : tree.squares(level)) {
+    Matrix m(contacts(s).size(), 1);
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, 0) = rng.normal();
+    sample_batches.emplace(s, std::move(m));
+  }
+  const auto sample_resp = split_responses(solver, level, sample_batches);
+
+  for (const SquareId& s : tree.squares(level)) {
+    SquareRep rep;
+    rep.v = row_basis_from_samples(s, sample_resp);
+    reps_.emplace(s, std::move(rep));
+  }
+
+  // Responses to the row bases, again via the splitting method, recorded
+  // over P_s by restriction from the parent-level local squares.
+  std::map<SquareId, Matrix> v_batches;
+  for (const SquareId& s : tree.squares(level)) v_batches.emplace(s, reps_.at(s).v);
+  const auto v_resp = split_responses(solver, level, v_batches);
+
+  for (const SquareId& s : tree.squares(level)) {
+    SquareRep& rep = reps_.at(s);
+    auto region = tree.local(s);
+    for (const SquareId& q : tree.interactive(s)) region.push_back(q);
+    for (const SquareId& qf : region) {
+      const SquareId q = tree.ancestor(qf, s.level - 1);
+      const Matrix& block = v_resp.at(s).at(q);
+      rep.response.emplace(qf, restrict_rows(block, positions_in(contacts(qf), contacts(q))));
+    }
+  }
+}
+
+// ---------------------------------------------------------- finest level
+
+void RowBasisRep::build_finest(const SubstrateSolver& solver) {
+  const QuadTree& tree = *tree_;
+  const int maxlev = tree.max_level();
+  const std::size_t n = tree.layout().n_contacts();
+
+  std::map<SquareId, Matrix> w_batches;
+  for (const SquareId& s : tree.squares(maxlev)) {
+    const Matrix w = orthonormal_complement(reps_.at(s).v, contacts(s).size());
+    finest_w_.emplace(s, w);
+    w_batches.emplace(s, w);
+  }
+
+  // Responses to the W columns: splitting method when a parent level
+  // exists, direct solves when level 2 is already the finest.
+  std::map<SquareId, ResponseBlocks> w_resp;
+  if (maxlev >= 3) {
+    w_resp = split_responses(solver, maxlev, w_batches);
+  } else {
+    for (const SquareId& s : tree.squares(maxlev)) {
+      const auto& ids = contacts(s);
+      const Matrix& w = w_batches.at(s);
+      ResponseBlocks blocks;
+      std::vector<Vector> responses;
+      for (std::size_t k = 0; k < w.cols(); ++k) {
+        Vector padded(n);
+        for (std::size_t i = 0; i < ids.size(); ++i) padded[ids[i]] = w(i, k);
+        responses.push_back(solver.solve(padded));
+      }
+      for (const SquareId& q : tree.local(s)) {
+        const auto& qids = contacts(q);
+        Matrix block(qids.size(), w.cols());
+        for (std::size_t k = 0; k < w.cols(); ++k)
+          block.set_col(k, restrict_to(responses[k], qids));
+        blocks.emplace(q, std::move(block));
+      }
+      w_resp.emplace(s, std::move(blocks));
+    }
+  }
+
+  // Assemble the finest-level local blocks (eq. 4.26).
+  for (const SquareId& s : tree.squares(maxlev)) {
+    const Matrix& v = reps_.at(s).v;
+    const Matrix& w = finest_w_.at(s);
+    for (const SquareId& q : tree.local(s)) {
+      const SquareId qc = maxlev >= 3 ? tree.ancestor(q, maxlev - 1) : q;
+      const Matrix& wblock_coarse = w_resp.at(s).at(qc);
+      const Matrix gw = maxlev >= 3 ? restrict_rows(wblock_coarse,
+                                                    positions_in(contacts(q), contacts(qc)))
+                                    : wblock_coarse;
+      Matrix g(contacts(q).size(), contacts(s).size());
+      if (v.cols() > 0) g += matmul_nt(reps_.at(s).response.at(q), v);
+      if (w.cols() > 0) g += matmul_nt(gw, w);
+      finest_g_.emplace(std::make_pair(q, s), std::move(g));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ apply
+
+Vector RowBasisRep::apply(const Vector& x) const {
+  const QuadTree& tree = *tree_;
+  SUBSPAR_REQUIRE(x.size() == tree.layout().n_contacts());
+  Vector out(x.size());
+
+  for (int lev = 2; lev <= tree.max_level(); ++lev) {
+    for (const SquareId& s : tree.squares(lev)) {
+      const auto& ids = contacts(s);
+      const Vector xs = restrict_to(x, ids);
+      const SquareRep& rep = reps_.at(s);
+      Vector cs, os = xs;
+      if (rep.v.cols() > 0) {
+        cs = matvec_t(rep.v, xs);
+        os -= matvec(rep.v, cs);
+      }
+      for (const SquareId& d : tree.interactive(s)) {
+        const auto& dids = contacts(d);
+        Vector id(dids.size());
+        // (G_{d,s} V_s) V_s' x_s ...
+        if (rep.v.cols() > 0) id += matvec(rep.response.at(d), cs);
+        // ... + V_d (G_{s,d} V_d)' (x_s - V_s V_s' x_s)   (eq. 4.16)
+        const SquareRep& drep = reps_.at(d);
+        if (drep.v.cols() > 0 && drep.response.count(s) > 0) {
+          id += matvec(drep.v, matvec_t(drep.response.at(s), os));
+        }
+        for (std::size_t i = 0; i < dids.size(); ++i) out[dids[i]] += id[i];
+      }
+    }
+  }
+
+  for (const SquareId& s : tree.squares(tree.max_level())) {
+    const Vector xs = restrict_to(x, contacts(s));
+    for (const SquareId& q : tree.local(s)) {
+      const auto& qids = contacts(q);
+      const Vector iq = matvec(finest_g_.at({q, s}), xs);
+      for (std::size_t i = 0; i < qids.size(); ++i) out[qids[i]] += iq[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace subspar

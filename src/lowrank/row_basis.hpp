@@ -1,0 +1,107 @@
+// Phase 1 of the low-rank method: the multilevel row-basis representation
+// (§4.3), built coarse-to-fine from O(log n) black-box solves.
+//
+// Per square s the interaction G_{I_s, s} with its interactive region is
+// numerically low-rank (Fig. 4-3). A row basis V_s (<= 6 columns) is
+// recovered from the SVD of responses at s to random sample vectors placed
+// in the squares of I_s (§4.3.3), and the responses (G_{P_s, s} V_s) to the
+// basis itself are recorded over the local-plus-interactive region P_s.
+// Responses on finer levels are never solved directly: a voltage with
+// support in s splits into its projection onto the parent row basis
+// (answered by the parent-level representation) and an orthogonal remainder
+// in (W_p), whose responses combine-solve safely (eqs. 4.22-4.24, Fig. 4-7).
+// The finest level stores the exact-local blocks G^(f)_{L_s, s} (eq. 4.26).
+//
+// The resulting representation applies G in O(n log n) (§4.3.2) and feeds
+// the fine-to-coarse sweep of phase 2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "geometry/quadtree.hpp"
+#include "linalg/matrix.hpp"
+#include "substrate/solver.hpp"
+
+namespace subspar {
+
+struct LowRankOptions {
+  /// Phase-1 row-basis truncation: singular values >= sigma_rel_tol *
+  /// sigma_max count. The paper quotes 1/100; because the interactive-block
+  /// spectra decay like Fig. 4-3, a tighter tolerance fills the max_rank
+  /// budget at negligible extra cost and buys ~30x lower representation
+  /// error, so that is the default here (ablated in bench/ablation_rank).
+  double sigma_rel_tol = 1e-4;
+  /// Row-basis width cap (paper: 6, matching the p = 2 moment count).
+  std::size_t max_rank = 6;
+  /// Phase-2 U/T split threshold (eq. 4.27): the paper's 1/100 keeps the
+  /// slow-decaying leftovers lean, which controls the density of the
+  /// root-level rows of G_w.
+  double u_sigma_rel_tol = 1e-2;
+  std::uint64_t seed = 12345;
+};
+
+class RowBasisRep {
+ public:
+  RowBasisRep(const SubstrateSolver& solver, const QuadTree& tree, LowRankOptions options = {});
+
+  const QuadTree& tree() const { return *tree_; }
+  const LowRankOptions& options() const { return options_; }
+  long solves() const { return solves_; }
+
+  /// Approximate G v through the multilevel representation (§4.3.2).
+  Vector apply(const Vector& v) const;
+
+  /// Row basis V_s (rows ordered like contacts(s)).
+  const Matrix& v(const SquareId& s) const;
+  /// Approximate response block (G_{q, s} V_s)^(r), rows ordered like
+  /// contacts(q); q must be in P_s.
+  const Matrix& response(const SquareId& s, const SquareId& q) const;
+  bool has_response(const SquareId& s, const SquareId& q) const;
+  /// Finest-level orthogonal complement W_s of V_s.
+  const Matrix& finest_w(const SquareId& s) const;
+  /// Assembled finest-level local block G^(f)_{q, s} (q in L_s).
+  const Matrix& finest_local_g(const SquareId& q, const SquareId& s) const;
+
+  /// Sorted contact ids of a square (shared row ordering of all blocks).
+  const std::vector<std::size_t>& contacts(const SquareId& s) const;
+
+ private:
+  struct SquareRep {
+    Matrix v;
+    std::map<SquareId, Matrix> response;
+  };
+
+  // Per-square responses of one "batch" of vectors, stored over the local
+  // squares of the parent (which cover P_s).
+  using ResponseBlocks = std::map<SquareId, Matrix>;
+
+  void build_level2(const SubstrateSolver& solver);
+  void build_level(const SubstrateSolver& solver, int level);
+  void build_finest(const SubstrateSolver& solver);
+
+  /// The splitting method (§4.3.3): responses to per-square column batches
+  /// x_s (columns over contacts(s), level `level` >= 3), each returned over
+  /// the local squares of its parent. Uses the parent-level representation
+  /// plus combine-solves on the orthogonal parts.
+  std::map<SquareId, ResponseBlocks> split_responses(
+      const SubstrateSolver& solver, int level,
+      const std::map<SquareId, Matrix>& batches);
+
+  Matrix row_basis_from_samples(const SquareId& s,
+                                const std::map<SquareId, ResponseBlocks>& sample_responses);
+
+  const QuadTree* tree_;
+  LowRankOptions options_;
+  long solves_ = 0;
+  std::map<SquareId, SquareRep> reps_;
+  std::map<SquareId, Matrix> finest_w_;
+  std::map<std::pair<SquareId, SquareId>, Matrix> finest_g_;  // key (q, s)
+};
+
+/// Positions of the (sorted) `sub` ids within the (sorted) `super` ids.
+std::vector<std::size_t> positions_in(const std::vector<std::size_t>& sub,
+                                      const std::vector<std::size_t>& super);
+
+}  // namespace subspar

@@ -1,0 +1,209 @@
+#include "substrate/eigen_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "transform/dct.hpp"
+#include "transform/fft.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Panel-averaging factor for mode m over M panels:
+// mean over a panel of cos(m pi x / a) relative to its center value.
+double sinc_factor(std::size_t m, std::size_t panels) {
+  if (m == 0) return 1.0;
+  const double u = kPi * static_cast<double>(m) / (2.0 * static_cast<double>(panels));
+  return std::sin(u) / u;
+}
+
+}  // namespace
+
+struct SurfaceSolver::Impl {
+  Layout layout;
+  SubstrateStack stack;
+  SurfaceSolverOptions options;
+
+  std::vector<double> lambda_tilde;       // (m, n) -> scaled eigenvalue, row-major m*N+n
+  std::vector<std::size_t> panels;        // flattened contact-panel grid indices
+  std::vector<std::size_t> contact_begin; // offsets into `panels`, size n+1
+  std::vector<Cholesky> block_factors;    // per-contact preconditioner blocks
+  mutable long total_iterations = 0;
+  mutable long stat_solves = 0;
+
+  Impl(const Layout& l, const SubstrateStack& s, SurfaceSolverOptions o)
+      : layout(l), stack(s), options(o) {}
+
+  std::size_t grid_size() const { return layout.panels_x() * layout.panels_y(); }
+
+  Vector apply_grid(const Vector& q) const {
+    const std::size_t mx = layout.panels_x(), ny = layout.panels_y();
+    std::vector<double> a(q.begin(), q.end());
+    // Grid storage is x + mx * y; rows of length mx vary x, so the
+    // row-transform runs over x (modes m) and the column transform over y.
+    dct2_2d(a, ny, mx);
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < mx; ++x) a[y * mx + x] *= lambda_tilde[x * ny + y];
+    dct3_2d(a, ny, mx);
+    return Vector(std::move(a));
+  }
+
+  // Restricted operator on contact panels only.
+  Vector apply_restricted(const Vector& x) const {
+    Vector q(grid_size());
+    for (std::size_t k = 0; k < panels.size(); ++k) q[panels[k]] = x[k];
+    const Vector v = apply_grid(q);
+    Vector out(panels.size());
+    for (std::size_t k = 0; k < panels.size(); ++k) out[k] = v[panels[k]];
+    return out;
+  }
+
+  Vector precondition(const Vector& r) const {
+    Vector z(r.size());
+    for (std::size_t c = 0; c + 1 < contact_begin.size(); ++c) {
+      const std::size_t b = contact_begin[c], e = contact_begin[c + 1];
+      Vector rc(e - b);
+      for (std::size_t k = b; k < e; ++k) rc[k - b] = r[k];
+      const Vector zc = block_factors[c].solve(rc);
+      for (std::size_t k = b; k < e; ++k) z[k] = zc[k - b];
+    }
+    return z;
+  }
+};
+
+SurfaceSolver::SurfaceSolver(const Layout& layout, const SubstrateStack& stack,
+                             SurfaceSolverOptions options)
+    : impl_(std::make_unique<Impl>(layout, stack, options)) {
+  SUBSPAR_REQUIRE(layout.n_contacts() > 0);
+  // Like QuickSub, the eigendecomposition path needs a finite DC eigenvalue:
+  // floating substrates are handled by the resistive-layer emulation.
+  SUBSPAR_REQUIRE(stack.backplane() == Backplane::kGrounded);
+  SUBSPAR_REQUIRE(is_power_of_two(layout.panels_x()) && is_power_of_two(layout.panels_y()));
+
+  const std::size_t mx = layout.panels_x(), ny = layout.panels_y();
+  const double a = layout.width(), b = layout.height();
+  const double h2 = layout.panel_size() * layout.panel_size();
+  auto& lt = impl_->lambda_tilde;
+  lt.resize(mx * ny);
+  for (std::size_t m = 0; m < mx; ++m) {
+    for (std::size_t n = 0; n < ny; ++n) {
+      double lam;
+      if (m == 0 && n == 0) {
+        lam = stack.lambda_dc();
+      } else {
+        const double gamma = kPi * std::sqrt((static_cast<double>(m) / a) * (static_cast<double>(m) / a) +
+                                             (static_cast<double>(n) / b) * (static_cast<double>(n) / b));
+        lam = stack.lambda(gamma);
+      }
+      const double sm = sinc_factor(m, mx);
+      const double sn = sinc_factor(n, ny);
+      lt[m * ny + n] = lam * sm * sm * sn * sn / h2;
+      SUBSPAR_ENSURE(lt[m * ny + n] > 0.0 && std::isfinite(lt[m * ny + n]));
+    }
+  }
+
+  // Flatten contact panels.
+  impl_->contact_begin.push_back(0);
+  for (std::size_t c = 0; c < layout.n_contacts(); ++c) {
+    for (const std::size_t p : layout.contact_panels(c)) impl_->panels.push_back(p);
+    impl_->contact_begin.push_back(impl_->panels.size());
+  }
+
+  if (options.contact_block_precond) {
+    // Approximate per-contact diagonal blocks of A_cc assuming translation
+    // invariance of the panel kernel: one operator apply at a central panel
+    // gives the kernel column, from which each (small) block is assembled.
+    Vector unit(impl_->grid_size());
+    const std::size_t cx = mx / 2, cy = ny / 2;
+    unit[cx + mx * cy] = 1.0;
+    const Vector kernel = impl_->apply_grid(unit);
+    for (std::size_t c = 0; c < layout.n_contacts(); ++c) {
+      const auto cpanels = layout.contact_panels(c);
+      const std::size_t np = cpanels.size();
+      Matrix blockm(np, np);
+      for (std::size_t i = 0; i < np; ++i) {
+        const long xi = static_cast<long>(cpanels[i] % mx), yi = static_cast<long>(cpanels[i] / mx);
+        for (std::size_t j = 0; j < np; ++j) {
+          const long xj = static_cast<long>(cpanels[j] % mx), yj = static_cast<long>(cpanels[j] / mx);
+          // Offset from the kernel center, clamped to the grid: panel pairs
+          // further apart than the grid half-width get the edge value, a
+          // harmless approximation for a preconditioner.
+          const long dx = xj - xi, dy = yj - yi;
+          const long kx = std::clamp(static_cast<long>(cx) + dx, 0L, static_cast<long>(mx) - 1);
+          const long ky = std::clamp(static_cast<long>(cy) + dy, 0L, static_cast<long>(ny) - 1);
+          const double val = kernel[static_cast<std::size_t>(kx) +
+                                    mx * static_cast<std::size_t>(ky)];
+          // Symmetrize (the kernel is even in the offset up to boundary
+          // effects, which a preconditioner may ignore).
+          blockm(i, j) = val;
+          blockm(j, i) = val;
+        }
+      }
+      try {
+        impl_->block_factors.emplace_back(blockm);
+      } catch (const std::invalid_argument&) {
+        // The translation-invariant approximation can go indefinite for
+        // contacts large relative to the grid; fall back to the diagonal.
+        Matrix diag(np, np);
+        for (std::size_t i = 0; i < np; ++i) diag(i, i) = blockm(i, i);
+        impl_->block_factors.emplace_back(diag);
+      }
+    }
+  }
+}
+
+SurfaceSolver::~SurfaceSolver() = default;
+
+std::size_t SurfaceSolver::n_contacts() const { return impl_->layout.n_contacts(); }
+
+Vector SurfaceSolver::apply_panel_operator(const Vector& panel_currents) const {
+  SUBSPAR_REQUIRE(panel_currents.size() == impl_->grid_size());
+  return impl_->apply_grid(panel_currents);
+}
+
+double SurfaceSolver::avg_iterations() const {
+  return impl_->stat_solves == 0
+             ? 0.0
+             : static_cast<double>(impl_->total_iterations) /
+                   static_cast<double>(impl_->stat_solves);
+}
+
+void SurfaceSolver::reset_iteration_stats() const {
+  impl_->total_iterations = 0;
+  impl_->stat_solves = 0;
+}
+
+Vector SurfaceSolver::do_solve(const Vector& contact_voltages) const {
+  const Impl& im = *impl_;
+  // Right-hand side: each contact's panels sit at the contact voltage.
+  Vector v(im.panels.size());
+  for (std::size_t c = 0; c < n_contacts(); ++c)
+    for (std::size_t k = im.contact_begin[c]; k < im.contact_begin[c + 1]; ++k)
+      v[k] = contact_voltages[c];
+
+  IterStats stats;
+  const LinearOp op = [&](const Vector& x) { return im.apply_restricted(x); };
+  const LinearOp pre = im.options.contact_block_precond
+                           ? LinearOp([&](const Vector& r) { return im.precondition(r); })
+                           : LinearOp();
+  const Vector q = pcg(op, v,
+                       {.rel_tol = im.options.rel_tol, .max_iterations = im.options.max_iterations},
+                       &stats, pre);
+  SUBSPAR_ENSURE(stats.converged);
+  im.total_iterations += static_cast<long>(stats.iterations);
+  ++im.stat_solves;
+
+  Vector currents(n_contacts());
+  for (std::size_t c = 0; c < n_contacts(); ++c) {
+    double s = 0.0;
+    for (std::size_t k = im.contact_begin[c]; k < im.contact_begin[c + 1]; ++k) s += q[k];
+    currents[c] = s;
+  }
+  return currents;
+}
+
+}  // namespace subspar

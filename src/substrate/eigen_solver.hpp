@@ -1,0 +1,58 @@
+// Eigenfunction (surface-variable) substrate solver (§2.3.1, Fig. 2-6).
+//
+// The panel current-to-potential operator A is diagonalized by the 2-D DCT:
+//   v = (1/h^2) * DCT^T diag(lambda_mn * sinc_m^2 * sinc_n^2) DCT q,
+// where lambda_mn comes from the layer recursion (SubstrateStack::lambda)
+// and the sinc^2 factors are the Galerkin panel-averaging weights of the
+// uniform-current / average-potential discretization. A is symmetric
+// positive definite, so the contact-panel system A_cc q = v is solved with
+// (optionally block-preconditioned) CG; contact currents are the per-contact
+// panel-current sums.
+//
+// This solver plays the role of Chou's QuickSub integral-equation code in
+// the paper's experiments: same operator, different (CG vs multigrid) inner
+// iteration. Like QuickSub it requires a grounded backplane; floating
+// substrates use the resistive-bottom-layer emulation (paper_stack).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "geometry/layout.hpp"
+#include "linalg/iterative.hpp"
+#include "substrate/solver.hpp"
+#include "substrate/stack.hpp"
+
+namespace subspar {
+
+struct SurfaceSolverOptions {
+  double rel_tol = 1e-6;           ///< CG residual tolerance (paper's choice)
+  std::size_t max_iterations = 2000;
+  bool contact_block_precond = true;  ///< block-Jacobi over contacts
+};
+
+class SurfaceSolver : public SubstrateSolver {
+ public:
+  SurfaceSolver(const Layout& layout, const SubstrateStack& stack,
+                SurfaceSolverOptions options = {});
+  ~SurfaceSolver() override;
+
+  std::size_t n_contacts() const override;
+  std::string name() const override { return "eigenfunction"; }
+
+  /// v = A q on the full panel grid (q, v of length panels_x * panels_y).
+  Vector apply_panel_operator(const Vector& panel_currents) const;
+
+  /// Average CG iterations per solve since the last reset.
+  double avg_iterations() const;
+  void reset_iteration_stats() const;
+
+ protected:
+  Vector do_solve(const Vector& contact_voltages) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace subspar

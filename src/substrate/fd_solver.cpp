@@ -1,0 +1,262 @@
+#include "substrate/fd_solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/ic0.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/sparse.hpp"
+#include "substrate/multigrid.hpp"
+#include "transform/fft.hpp"
+#include "transform/poisson.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+
+struct FdSolver::Impl {
+  Layout layout;
+  SubstrateStack stack;
+  FdSolverOptions options;
+
+  std::size_t nx = 0, ny = 0, nz = 0;
+  double h = 0.0;
+  double g_contact = 0.0;  ///< ghost-resistor conductance sigma_top * h
+
+  SparseMatrix a;                              // grid-of-resistors Laplacian
+  std::unique_ptr<FastPoisson3D> fast_precond;
+  std::unique_ptr<GridMultigrid> multigrid;
+  SparseMatrix ic_factor;
+  bool use_ic = false;
+
+  // Top-plane node indices per contact (into the full grid vector).
+  std::vector<std::vector<std::size_t>> contact_nodes;
+
+  mutable long total_iterations = 0;
+  mutable long stat_solves = 0;
+
+  Impl(const Layout& l, const SubstrateStack& s, FdSolverOptions o)
+      : layout(l), stack(s), options(o) {}
+
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return x + nx * (y + ny * z);
+  }
+};
+
+FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOptions options)
+    : impl_(std::make_unique<Impl>(layout, stack, options)) {
+  Impl& im = *impl_;
+  SUBSPAR_REQUIRE(layout.n_contacts() > 0);
+  SUBSPAR_REQUIRE(options.grid_h > 0.0);
+  const double h = options.grid_h;
+  im.h = h;
+
+  const double width = layout.width(), height = layout.height(), depth = stack.depth();
+  im.nx = static_cast<std::size_t>(std::round(width / h));
+  im.ny = static_cast<std::size_t>(std::round(height / h));
+  im.nz = static_cast<std::size_t>(std::round(depth / h));
+  SUBSPAR_REQUIRE(im.nz >= 2);
+  SUBSPAR_REQUIRE(std::abs(static_cast<double>(im.nx) * h - width) < 1e-9 * width);
+  SUBSPAR_REQUIRE(is_power_of_two(im.nx) && is_power_of_two(im.ny));
+
+  // Plane conductivities: node plane z (0 = bottom) sits at depth
+  // d - (z + 1/2) h below the surface.
+  std::vector<double> sigma(im.nz);
+  for (std::size_t z = 0; z < im.nz; ++z)
+    sigma[z] = stack.conductivity_at_depth(depth - (static_cast<double>(z) + 0.5) * h);
+  const double sigma_top = sigma[im.nz - 1];
+  im.g_contact = (options.ghost_half_spacing ? 2.0 : 1.0) * sigma_top * h;
+
+  std::vector<double> gz(im.nz - 1);
+  for (std::size_t z = 0; z + 1 < im.nz; ++z)
+    // Two h/2 resistors in series across the plane gap (Fig. 2-2).
+    gz[z] = 2.0 * h * sigma[z] * sigma[z + 1] / (sigma[z] + sigma[z + 1]);
+
+  const bool grounded = stack.backplane() == Backplane::kGrounded;
+  const double g_bottom = grounded ? 2.0 * sigma[0] * h : 0.0;
+
+  // Contact nodes: panels -> top-plane node ranges (node x covers physical
+  // [x h, (x+1) h), matching the panel grid when grid_h == panel_size).
+  const double hp = layout.panel_size();
+  std::vector<char> is_contact(im.nx * im.ny, 0);
+  for (std::size_t c = 0; c < layout.n_contacts(); ++c) {
+    std::vector<std::size_t> nodes;
+    for (const auto& r : layout.contact(c).parts) {
+      const long x0 = std::lround(static_cast<double>(r.x0) * hp / h);
+      const long x1 = std::lround(static_cast<double>(r.x1()) * hp / h);
+      const long y0 = std::lround(static_cast<double>(r.y0) * hp / h);
+      const long y1 = std::lround(static_cast<double>(r.y1()) * hp / h);
+      for (long y = y0; y < y1; ++y)
+        for (long x = x0; x < x1; ++x) {
+          SUBSPAR_REQUIRE(x >= 0 && y >= 0 && x < static_cast<long>(im.nx) &&
+                          y < static_cast<long>(im.ny));
+          nodes.push_back(im.index(static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+                                   im.nz - 1));
+          is_contact[static_cast<std::size_t>(x) + im.nx * static_cast<std::size_t>(y)] = 1;
+        }
+    }
+    SUBSPAR_REQUIRE(!nodes.empty());  // grid too coarse for this contact otherwise
+    im.contact_nodes.push_back(std::move(nodes));
+  }
+
+  // Wells: etched-away grid nodes (§2.1). Removed nodes keep identity rows
+  // so the system stays SPD with a fixed size; all resistors touching them
+  // are omitted, which is exactly a Neumann boundary around the cavity.
+  const std::size_t n = im.nx * im.ny * im.nz;
+  std::vector<char> removed(n, 0);
+  for (const SubstrateWell& w : options.wells) {
+    SUBSPAR_REQUIRE(w.width > 0.0 && w.height > 0.0 && w.depth > 0.0);
+    SUBSPAR_REQUIRE(w.depth < depth);
+    for (std::size_t z = 0; z < im.nz; ++z) {
+      const double node_depth = depth - (static_cast<double>(z) + 0.5) * h;
+      if (node_depth >= w.depth) continue;  // below the cavity floor
+      for (std::size_t y = 0; y < im.ny; ++y) {
+        for (std::size_t x = 0; x < im.nx; ++x) {
+          const double cx = (static_cast<double>(x) + 0.5) * h;
+          const double cy = (static_cast<double>(y) + 0.5) * h;
+          if (cx >= w.x0 && cx <= w.x0 + w.width && cy >= w.y0 && cy <= w.y0 + w.height)
+            removed[im.index(x, y, z)] = 1;
+        }
+      }
+    }
+  }
+  for (const auto& nodes : im.contact_nodes)
+    for (const std::size_t node : nodes)
+      SUBSPAR_REQUIRE(!removed[node]);  // wells may not swallow contacts
+
+  // Assemble the grid-of-resistors matrix (eq. 2.9).
+  SparseBuilder bld(n, n);
+  for (std::size_t z = 0; z < im.nz; ++z) {
+    const double gl = sigma[z] * h;
+    for (std::size_t y = 0; y < im.ny; ++y) {
+      for (std::size_t x = 0; x < im.nx; ++x) {
+        const std::size_t i = im.index(x, y, z);
+        if (removed[i]) {
+          bld.add(i, i, 1.0);  // decoupled identity row
+          continue;
+        }
+        double diag = 0.0;
+        auto stamp = [&](std::size_t j, double g) {
+          if (removed[j]) return;  // omitted resistor = Neumann cavity wall
+          bld.add(i, j, -g);
+          diag += g;
+        };
+        if (x > 0) stamp(im.index(x - 1, y, z), gl);
+        if (x + 1 < im.nx) stamp(im.index(x + 1, y, z), gl);
+        if (y > 0) stamp(im.index(x, y - 1, z), gl);
+        if (y + 1 < im.ny) stamp(im.index(x, y + 1, z), gl);
+        if (z > 0) stamp(im.index(x, y, z - 1), gz[z - 1]);
+        if (z + 1 < im.nz) stamp(im.index(x, y, z + 1), gz[z]);
+        if (z == 0 && grounded) diag += g_bottom;
+        if (z == im.nz - 1 && is_contact[x + im.nx * y]) diag += im.g_contact;
+        // A fully isolated interior node (possible only in pathological well
+        // shapes) degenerates to an identity row.
+        bld.add(i, i, diag > 0.0 ? diag : 1.0);
+      }
+    }
+  }
+  im.a = SparseMatrix(bld);
+
+  // Preconditioner setup.
+  switch (options.precond) {
+    case FdPreconditioner::kNone:
+      break;
+    case FdPreconditioner::kIncompleteCholesky:
+      im.ic_factor = ic0(im.a);
+      im.use_ic = true;
+      break;
+    case FdPreconditioner::kMultigrid: {
+      GridSpec spec;
+      spec.nx = im.nx;
+      spec.ny = im.ny;
+      spec.nz = im.nz;
+      spec.h = h;
+      spec.sigma = sigma;
+      spec.g_top.assign(im.nx * im.ny, 0.0);
+      for (std::size_t k = 0; k < im.nx * im.ny; ++k)
+        if (is_contact[k]) spec.g_top[k] = im.g_contact;
+      spec.g_bottom = g_bottom;
+      if (!options.wells.empty()) spec.removed = removed;
+      im.multigrid = std::make_unique<GridMultigrid>(std::move(spec));
+      break;
+    }
+    default: {
+      double p = 1.0;
+      if (options.precond == FdPreconditioner::kFastNeumann) p = 0.0;
+      if (options.precond == FdPreconditioner::kFastAreaWeighted) {
+        double contact_area = 0.0;
+        for (std::size_t c = 0; c < layout.n_contacts(); ++c)
+          contact_area += layout.contact_area(c);
+        p = contact_area / (width * height);
+      }
+      PoissonGrid pg;
+      pg.nx = im.nx;
+      pg.ny = im.ny;
+      pg.nz = im.nz;
+      pg.lateral_g.resize(im.nz);
+      for (std::size_t z = 0; z < im.nz; ++z) pg.lateral_g[z] = sigma[z] * h;
+      pg.vertical_g = gz;
+      pg.top_g = p * im.g_contact;
+      pg.bottom_g = g_bottom;
+      im.fast_precond = std::make_unique<FastPoisson3D>(std::move(pg));
+      break;
+    }
+  }
+}
+
+FdSolver::~FdSolver() = default;
+
+std::size_t FdSolver::n_contacts() const { return impl_->layout.n_contacts(); }
+
+std::size_t FdSolver::grid_nodes() const { return impl_->nx * impl_->ny * impl_->nz; }
+
+double FdSolver::avg_iterations() const {
+  return impl_->stat_solves == 0 ? 0.0
+                                 : static_cast<double>(impl_->total_iterations) /
+                                       static_cast<double>(impl_->stat_solves);
+}
+
+void FdSolver::reset_iteration_stats() const {
+  impl_->total_iterations = 0;
+  impl_->stat_solves = 0;
+}
+
+Vector FdSolver::solve_volume(const Vector& contact_voltages) const {
+  const Impl& im = *impl_;
+  SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
+  Vector b(grid_nodes());
+  for (std::size_t c = 0; c < n_contacts(); ++c)
+    for (const std::size_t node : im.contact_nodes[c]) b[node] += im.g_contact * contact_voltages[c];
+
+  IterStats stats;
+  const LinearOp op = [&](const Vector& x) { return im.a.apply(x); };
+  LinearOp pre;
+  if (im.fast_precond) {
+    pre = [&](const Vector& r) { return im.fast_precond->solve(r); };
+  } else if (im.multigrid) {
+    pre = [&](const Vector& r) { return im.multigrid->vcycle(r); };
+  } else if (im.use_ic) {
+    pre = [&](const Vector& r) { return ic0_solve(im.ic_factor, r); };
+  }
+  const Vector x = pcg(op, b,
+                       {.rel_tol = im.options.rel_tol, .max_iterations = im.options.max_iterations},
+                       &stats, pre);
+  SUBSPAR_ENSURE(stats.converged);
+  im.total_iterations += static_cast<long>(stats.iterations);
+  ++im.stat_solves;
+  return x;
+}
+
+Vector FdSolver::do_solve(const Vector& contact_voltages) const {
+  const Impl& im = *impl_;
+  const Vector x = solve_volume(contact_voltages);
+  Vector currents(n_contacts());
+  for (std::size_t c = 0; c < n_contacts(); ++c) {
+    double s = 0.0;
+    for (const std::size_t node : im.contact_nodes[c])
+      s += im.g_contact * (contact_voltages[c] - x[node]);
+    currents[c] = s;
+  }
+  return currents;
+}
+
+}  // namespace subspar

@@ -1,0 +1,214 @@
+#include "substrate/multigrid.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+
+SparseMatrix assemble_grid_laplacian(const GridSpec& s) {
+  SUBSPAR_REQUIRE(s.nx > 0 && s.ny > 0 && s.nz > 0 && s.h > 0.0);
+  SUBSPAR_REQUIRE(s.sigma.size() == s.nz);
+  SUBSPAR_REQUIRE(s.g_top.size() == s.nx * s.ny);
+  SUBSPAR_REQUIRE(s.removed.empty() || s.removed.size() == s.size());
+  auto gone = [&](std::size_t i) { return !s.removed.empty() && s.removed[i]; };
+
+  std::vector<double> gz(s.nz > 1 ? s.nz - 1 : 0);
+  for (std::size_t z = 0; z + 1 < s.nz; ++z)
+    gz[z] = 2.0 * s.h * s.sigma[z] * s.sigma[z + 1] / (s.sigma[z] + s.sigma[z + 1]);
+
+  SparseBuilder bld(s.size(), s.size());
+  for (std::size_t z = 0; z < s.nz; ++z) {
+    const double gl = s.sigma[z] * s.h;
+    for (std::size_t y = 0; y < s.ny; ++y) {
+      for (std::size_t x = 0; x < s.nx; ++x) {
+        const std::size_t i = s.index(x, y, z);
+        if (gone(i)) {
+          bld.add(i, i, 1.0);
+          continue;
+        }
+        double diag = 0.0;
+        auto stamp = [&](std::size_t j, double g) {
+          if (gone(j)) return;
+          bld.add(i, j, -g);
+          diag += g;
+        };
+        if (x > 0) stamp(s.index(x - 1, y, z), gl);
+        if (x + 1 < s.nx) stamp(s.index(x + 1, y, z), gl);
+        if (y > 0) stamp(s.index(x, y - 1, z), gl);
+        if (y + 1 < s.ny) stamp(s.index(x, y + 1, z), gl);
+        if (z > 0) stamp(s.index(x, y, z - 1), gz[z - 1]);
+        if (z + 1 < s.nz) stamp(s.index(x, y, z + 1), gz[z]);
+        if (z == s.nz - 1) diag += s.g_top[x + s.nx * y];
+        if (z == 0) diag += s.g_bottom;
+        bld.add(i, i, diag > 0.0 ? diag : 1.0);
+      }
+    }
+  }
+  return SparseMatrix(bld);
+}
+
+namespace {
+
+// Halves the marked dimensions, aggregating coefficients so that net
+// conductances are preserved in the multigrid sense: plane conductivities
+// average, per-node contact couplings sum over the merged footprint and
+// rescale by 1/2 (conductance of a resistor grid scales with h).
+GridSpec coarsen(const GridSpec& f, bool cx, bool cy, bool cz) {
+  GridSpec c;
+  c.nx = cx ? f.nx / 2 : f.nx;
+  c.ny = cy ? f.ny / 2 : f.ny;
+  c.nz = cz ? f.nz / 2 : f.nz;
+  c.h = f.h * ((cx || cy || cz) ? 2.0 : 1.0);
+  c.sigma.resize(c.nz);
+  for (std::size_t z = 0; z < c.nz; ++z)
+    c.sigma[z] = cz ? 0.5 * (f.sigma[2 * z] + f.sigma[2 * z + 1]) : f.sigma[z];
+  c.g_top.assign(c.nx * c.ny, 0.0);
+  const double lateral_merge = (cx ? 2.0 : 1.0) * (cy ? 2.0 : 1.0);
+  for (std::size_t y = 0; y < f.ny; ++y)
+    for (std::size_t x = 0; x < f.nx; ++x) {
+      const std::size_t xx = cx ? x / 2 : x, yy = cy ? y / 2 : y;
+      c.g_top[xx + c.nx * yy] += f.g_top[x + f.nx * y] / lateral_merge;
+    }
+  // Conductance per node grows with h: rescale aggregated couplings.
+  for (auto& g : c.g_top) g *= c.h / f.h;
+  c.g_bottom = f.g_bottom * lateral_merge / lateral_merge * (c.h / f.h);
+  if (!f.removed.empty()) {
+    c.removed.assign(c.size(), 0);
+    std::vector<int> votes(c.size(), 0), total(c.size(), 0);
+    for (std::size_t z = 0; z < f.nz; ++z)
+      for (std::size_t y = 0; y < f.ny; ++y)
+        for (std::size_t x = 0; x < f.nx; ++x) {
+          const std::size_t ci =
+              c.index(cx ? x / 2 : x, cy ? y / 2 : y, cz ? z / 2 : z);
+          votes[ci] += f.removed[f.index(x, y, z)];
+          ++total[ci];
+        }
+    for (std::size_t i = 0; i < c.size(); ++i) c.removed[i] = 2 * votes[i] > total[i];
+  }
+  return c;
+}
+
+}  // namespace
+
+GridMultigrid::GridMultigrid(GridSpec fine, MultigridOptions options) : options_(options) {
+  Level lvl;
+  lvl.spec = std::move(fine);
+  lvl.a = assemble_grid_laplacian(lvl.spec);
+  levels_.push_back(std::move(lvl));
+
+  while (static_cast<int>(levels_.size()) < options_.max_levels &&
+         levels_.back().spec.size() > options_.coarsest_max_nodes) {
+    Level& prev = levels_.back();
+    const GridSpec& s = prev.spec;
+    const bool cx = s.nx % 2 == 0 && s.nx >= 4;
+    const bool cy = s.ny % 2 == 0 && s.ny >= 4;
+    const bool cz = s.nz % 2 == 0 && s.nz >= 4;
+    if (!cx && !cy && !cz) break;  // nothing left to halve
+    prev.cx = cx;
+    prev.cy = cy;
+    prev.cz = cz;
+    Level next;
+    next.spec = coarsen(s, cx, cy, cz);
+    next.a = assemble_grid_laplacian(next.spec);
+    levels_.push_back(std::move(next));
+  }
+
+  for (Level& l : levels_) {
+    l.diag.assign(l.a.rows(), 0);
+    for (std::size_t i = 0; i < l.a.rows(); ++i) {
+      bool found = false;
+      for (std::size_t k = l.a.row_begin(i); k < l.a.row_end(i); ++k) {
+        if (l.a.col_index(k) == i) {
+          l.diag[i] = k;
+          found = true;
+        }
+      }
+      SUBSPAR_ENSURE(found && l.a.value(l.diag[i]) > 0.0);
+    }
+  }
+  coarse_solver_ = std::make_unique<Cholesky>(levels_.back().a.to_dense());
+}
+
+GridMultigrid::~GridMultigrid() = default;
+
+const SparseMatrix& GridMultigrid::fine_matrix() const { return levels_.front().a; }
+
+void GridMultigrid::smooth(const Level& lvl, Vector& x, const Vector& b, bool forward) const {
+  const SparseMatrix& a = lvl.a;
+  const std::size_t n = a.rows();
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t i = forward ? t : n - 1 - t;
+    double s = b[i];
+    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const std::size_t j = a.col_index(k);
+      if (j != i) s -= a.value(k) * x[j];
+    }
+    x[i] = s / a.value(lvl.diag[i]);
+  }
+}
+
+Vector GridMultigrid::restrict_to_coarse(std::size_t fl, const Vector& r) const {
+  const Level& f = levels_[fl];
+  const GridSpec& fs = f.spec;
+  const GridSpec& cs = levels_[fl + 1].spec;
+  Vector rc(cs.size());
+  for (std::size_t z = 0; z < fs.nz; ++z)
+    for (std::size_t y = 0; y < fs.ny; ++y)
+      for (std::size_t x = 0; x < fs.nx; ++x)
+        rc[cs.index(f.cx ? x / 2 : x, f.cy ? y / 2 : y, f.cz ? z / 2 : z)] +=
+            r[fs.index(x, y, z)];
+  // Scale so R = P' / 2 (conductance halves per refinement: the Galerkin-
+  // consistent weight for piecewise-constant P on a resistor grid).
+  rc *= 0.5;
+  return rc;
+}
+
+Vector GridMultigrid::prolong_to_fine(std::size_t fl, const Vector& xc) const {
+  const Level& f = levels_[fl];
+  const GridSpec& fs = f.spec;
+  const GridSpec& cs = levels_[fl + 1].spec;
+  Vector xf(fs.size());
+  for (std::size_t z = 0; z < fs.nz; ++z)
+    for (std::size_t y = 0; y < fs.ny; ++y)
+      for (std::size_t x = 0; x < fs.nx; ++x)
+        xf[fs.index(x, y, z)] =
+            xc[cs.index(f.cx ? x / 2 : x, f.cy ? y / 2 : y, f.cz ? z / 2 : z)];
+  return xf;
+}
+
+void GridMultigrid::cycle(std::size_t level, Vector& x, const Vector& b) const {
+  if (level + 1 == levels_.size()) {
+    x = coarse_solver_->solve(b);
+    return;
+  }
+  const Level& lvl = levels_[level];
+  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth(lvl, x, b, /*forward=*/true);
+  const Vector r = b - lvl.a.apply(x);
+  const Vector rc = restrict_to_coarse(level, r);
+  Vector xc(rc.size());
+  cycle(level + 1, xc, rc);
+  x += prolong_to_fine(level, xc);
+  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth(lvl, x, b, /*forward=*/false);
+}
+
+Vector GridMultigrid::vcycle(const Vector& b) const {
+  SUBSPAR_REQUIRE(b.size() == levels_.front().spec.size());
+  Vector x(b.size());
+  cycle(0, x, b);
+  return x;
+}
+
+Vector GridMultigrid::solve(const Vector& b, std::size_t cycles) const {
+  Vector x(b.size());
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const Vector r = b - levels_.front().a.apply(x);
+    Vector dx(b.size());
+    cycle(0, dx, r);
+    x += dx;
+  }
+  return x;
+}
+
+}  // namespace subspar

@@ -1,0 +1,85 @@
+// Geometric multigrid for the grid-of-resistors substrate system — the
+// direction §2.2.2 leaves as future work ("multigrid techniques ... may be
+// very useful here. The iteration counts could possibly be reduced somewhat,
+// and each iteration would probably cost less than for PCG").
+//
+// A V-cycle over rediscretized coarse grids: each level halves every even
+// dimension (semicoarsening in x/y when nz is odd), with layer conductivity
+// profiles and the contact/backplane couplings re-sampled per level — the
+// "dealing with layer boundaries in the coarse-grid representation" issue
+// the thesis calls out is handled by conductance-preserving aggregation.
+// Smoothing is symmetric Gauss-Seidel and restriction is the transpose of
+// piecewise-constant prolongation (scaled), so one V-cycle is a symmetric
+// positive operator usable directly as a PCG preconditioner.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector.hpp"
+
+namespace subspar {
+
+/// Geometry + coefficients of one structured substrate grid.
+struct GridSpec {
+  std::size_t nx = 0, ny = 0, nz = 0;  ///< z index 0 = bottom
+  double h = 0.0;
+  std::vector<double> sigma;     ///< plane conductivities, size nz
+  std::vector<double> g_top;     ///< per-top-node contact ghost conductance, nx*ny (0 = none)
+  double g_bottom = 0.0;         ///< per-bottom-node backplane conductance
+  std::vector<char> removed;     ///< optional etched nodes, nx*ny*nz (empty = none)
+
+  std::size_t size() const { return nx * ny * nz; }
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return x + nx * (y + ny * z);
+  }
+};
+
+/// Assembles the SPD grid-of-resistors matrix of a GridSpec (eq. 2.9, with
+/// series-combined layer-boundary resistors and identity rows for removed
+/// nodes).
+SparseMatrix assemble_grid_laplacian(const GridSpec& spec);
+
+struct MultigridOptions {
+  int max_levels = 8;
+  std::size_t coarsest_max_nodes = 600;  ///< dense Cholesky below this
+  int smoothing_sweeps = 1;              ///< symmetric GS pre/post sweeps
+};
+
+class GridMultigrid {
+ public:
+  explicit GridMultigrid(GridSpec fine, MultigridOptions options = {});
+  ~GridMultigrid();
+
+  /// One V-cycle applied to b from a zero initial guess: the preconditioner
+  /// action M^{-1} b.
+  Vector vcycle(const Vector& b) const;
+
+  /// Stand-alone iterative solve by repeated V-cycles (residual-corrected),
+  /// mostly for tests; returns the iterate after `cycles` cycles.
+  Vector solve(const Vector& b, std::size_t cycles) const;
+
+  std::size_t levels() const { return levels_.size(); }
+  const SparseMatrix& fine_matrix() const;
+
+ private:
+  struct Level {
+    GridSpec spec;
+    SparseMatrix a;
+    std::vector<std::size_t> diag;  // CSR index of the diagonal per row
+    bool cx = false, cy = false, cz = false;  // which dims the next level halves
+  };
+
+  void smooth(const Level& lvl, Vector& x, const Vector& b, bool forward) const;
+  Vector restrict_to_coarse(std::size_t fine_level, const Vector& r) const;
+  Vector prolong_to_fine(std::size_t fine_level, const Vector& xc) const;
+  void cycle(std::size_t level, Vector& x, const Vector& b) const;
+
+  MultigridOptions options_;
+  std::vector<Level> levels_;
+  std::unique_ptr<class Cholesky> coarse_solver_;
+};
+
+}  // namespace subspar

@@ -1,0 +1,48 @@
+#include "substrate/solver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+Vector SubstrateSolver::solve(const Vector& contact_voltages) const {
+  SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
+  ++solve_count_;
+  return do_solve(contact_voltages);
+}
+
+Matrix extract_dense(const SubstrateSolver& solver) {
+  const std::size_t n = solver.n_contacts();
+  Matrix g(n, n);
+  Vector e(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    e.fill(0.0);
+    e[j] = 1.0;
+    g.set_col(j, solver.solve(e));
+  }
+  return g;
+}
+
+Matrix extract_columns(const SubstrateSolver& solver, const std::vector<std::size_t>& cols) {
+  const std::size_t n = solver.n_contacts();
+  Matrix g(n, cols.size());
+  Vector e(n);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    SUBSPAR_REQUIRE(cols[k] < n);
+    e.fill(0.0);
+    e[cols[k]] = 1.0;
+    g.set_col(k, solver.solve(e));
+  }
+  return g;
+}
+
+std::vector<std::size_t> sample_columns(std::size_t n, double fraction) {
+  SUBSPAR_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  const std::size_t stride = std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / fraction));
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < n; j += stride) cols.push_back(j);
+  return cols;
+}
+
+}  // namespace subspar

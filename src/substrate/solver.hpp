@@ -1,0 +1,49 @@
+// The black-box substrate solver interface (§2.1).
+//
+// Everything the sparsification algorithms assume about the substrate is
+// captured here: a routine that maps the vector of contact voltages to the
+// vector of contact currents (i.e., applies the dense conductance matrix G
+// implicitly). The base class counts solves so the benches can report the
+// paper's solve-reduction factors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace subspar {
+
+class SubstrateSolver {
+ public:
+  virtual ~SubstrateSolver() = default;
+
+  /// Applies G: contact voltages in, contact currents out.
+  Vector solve(const Vector& contact_voltages) const;
+
+  virtual std::size_t n_contacts() const = 0;
+  virtual std::string name() const = 0;
+
+  long solve_count() const { return solve_count_; }
+  void reset_solve_count() const { solve_count_ = 0; }
+
+ protected:
+  virtual Vector do_solve(const Vector& contact_voltages) const = 0;
+
+ private:
+  mutable long solve_count_ = 0;
+};
+
+/// Naive extraction: G(:, i) = solver(e_i), n solves (§1.2).
+Matrix extract_dense(const SubstrateSolver& solver);
+
+/// Extracts the columns listed in `cols` only (the 10% sample used to score
+/// large examples in Table 4.3).
+Matrix extract_columns(const SubstrateSolver& solver, const std::vector<std::size_t>& cols);
+
+/// A deterministic every-k-th column sample covering ~`fraction` of columns.
+std::vector<std::size_t> sample_columns(std::size_t n, double fraction);
+
+}  // namespace subspar

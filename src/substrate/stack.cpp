@@ -1,0 +1,76 @@
+#include "substrate/stack.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+SubstrateStack::SubstrateStack(std::vector<SubstrateLayer> layers, Backplane backplane)
+    : layers_(std::move(layers)), backplane_(backplane) {
+  SUBSPAR_REQUIRE(!layers_.empty());
+  for (const auto& l : layers_) SUBSPAR_REQUIRE(l.thickness > 0.0 && l.conductivity > 0.0);
+}
+
+double SubstrateStack::depth() const {
+  double d = 0.0;
+  for (const auto& l : layers_) d += l.thickness;
+  return d;
+}
+
+double SubstrateStack::conductivity_at_depth(double d) const {
+  SUBSPAR_REQUIRE(d >= 0.0);
+  double acc = 0.0;
+  for (const auto& l : layers_) {
+    acc += l.thickness;
+    if (d <= acc) return l.conductivity;
+  }
+  // Depth numerically at (or just past) the backplane: bottom layer.
+  SUBSPAR_REQUIRE(d <= acc * (1.0 + 1e-9));
+  return layers_.back().conductivity;
+}
+
+double SubstrateStack::lambda(double gamma) const {
+  SUBSPAR_REQUIRE(gamma > 0.0);
+  // Track Z as a projective pair (num, den) so the floating start Z =
+  // infinity is exact: grounded -> (0, 1), floating -> (1, 0).
+  double num = (backplane_ == Backplane::kGrounded) ? 0.0 : 1.0;
+  double den = (backplane_ == Backplane::kGrounded) ? 1.0 : 0.0;
+  // Propagate bottom-up.
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    const double z0 = 1.0 / (it->conductivity * gamma);
+    const double th = std::tanh(gamma * it->thickness);
+    const double new_num = z0 * (num + z0 * th * den);
+    const double new_den = z0 * den + num * th;
+    num = new_num;
+    den = new_den;
+    // Renormalize to dodge overflow/underflow across many layers.
+    const double scale = std::max(std::abs(num), std::abs(den));
+    SUBSPAR_ENSURE(scale > 0.0);
+    num /= scale;
+    den /= scale;
+  }
+  SUBSPAR_ENSURE(den > 0.0);  // the surface impedance of a lossy stack is finite
+  return num / den;
+}
+
+double SubstrateStack::lambda_dc() const {
+  if (backplane_ == Backplane::kFloating) return std::numeric_limits<double>::infinity();
+  double r = 0.0;
+  for (const auto& l : layers_) r += l.thickness / l.conductivity;
+  return r;
+}
+
+SubstrateStack paper_stack(double depth, double top_layer_thickness, double sigma_top) {
+  SUBSPAR_REQUIRE(depth > top_layer_thickness + 1.0);
+  // Top layer sigma, bulk 100 sigma, thin 0.1 sigma layer above the
+  // groundplane (the paper's floating-backplane emulation, §3.7).
+  const double bottom_thickness = 1.0;
+  return SubstrateStack({{top_layer_thickness, sigma_top},
+                         {depth - top_layer_thickness - bottom_thickness, 100.0 * sigma_top},
+                         {bottom_thickness, 0.1 * sigma_top}},
+                        Backplane::kGrounded);
+}
+
+}  // namespace subspar

@@ -1,0 +1,59 @@
+// Layered substrate model (Fig. 1-1) and the eigenvalues of its
+// current-density-to-potential surface operator (§2.3.1).
+//
+// The thesis derives the eigenvalues lambda_mn through a coefficient
+// recursion (eqs. 2.34-2.36) that overflows for large gamma_mn * d. We use
+// the mathematically identical transmission-line form: each layer transforms
+// the "input impedance" Z = phi / (sigma dphi/dz) looking down from its top
+// surface as
+//     Z_top = Z0 * (Z_bot + Z0 tanh(gamma t)) / (Z0 + Z_bot tanh(gamma t)),
+// with Z0 = 1 / (sigma gamma). tanh saturates, so the recursion is stable
+// for every mode. lambda(gamma) is Z at the top surface; a grounded
+// backplane starts from Z = 0, a floating one from Z = infinity.
+#pragma once
+
+#include <vector>
+
+namespace subspar {
+
+struct SubstrateLayer {
+  double thickness;     ///< physical, > 0
+  double conductivity;  ///< sigma, > 0
+};
+
+enum class Backplane { kGrounded, kFloating };
+
+class SubstrateStack {
+ public:
+  /// Layers listed top-down: layers[0] touches the contact surface.
+  SubstrateStack(std::vector<SubstrateLayer> layers, Backplane backplane);
+
+  double depth() const;
+  const std::vector<SubstrateLayer>& layers() const { return layers_; }
+  Backplane backplane() const { return backplane_; }
+
+  /// sigma at depth d below the surface, d in [0, depth()].
+  double conductivity_at_depth(double d) const;
+
+  /// Surface spectral impedance lambda(gamma) = potential / current-density
+  /// for the cos mode with lateral wavenumber gamma > 0.
+  double lambda(double gamma) const;
+
+  /// gamma -> 0 limit: sum of t_k / sigma_k for a grounded backplane;
+  /// +infinity for a floating one (uniform current cannot leave, §2.3.1).
+  double lambda_dc() const;
+
+ private:
+  std::vector<SubstrateLayer> layers_;
+  Backplane backplane_;
+};
+
+/// The two-layer profile (plus the thin resistive layer adjacent to the
+/// backplane that emulates a floating backplane with a solver requiring a
+/// groundplane) used throughout §3.7 / §4.6: conductivities
+/// (1, 100, 0.1) * sigma_top with interfaces just below the surface and just
+/// above the backplane.
+SubstrateStack paper_stack(double depth = 40.0, double top_layer_thickness = 0.5,
+                           double sigma_top = 1.0);
+
+}  // namespace subspar

@@ -1,0 +1,143 @@
+#include "transform/dct.hpp"
+
+#include <cmath>
+
+#include "transform/fft.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Unnormalized DCT-II, C_k = sum_j x_j cos(pi k (2j+1) / (2N)), via Makhoul's
+// even-odd permutation + length-N FFT.
+std::vector<double> dct2_unnormalized_fast(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> v(n);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    v[j] = Complex(x[2 * j], 0.0);
+    v[n - 1 - j] = Complex(x[2 * j + 1], 0.0);
+  }
+  fft(v);
+  std::vector<double> c(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    c[k] = (Complex(std::cos(ang), std::sin(ang)) * v[k]).real();
+  }
+  return c;
+}
+
+// Inverse of the unnormalized DCT-II above.
+std::vector<double> dct3_from_unnormalized_fast(const std::vector<double>& c) {
+  const std::size_t n = c.size();
+  std::vector<Complex> v(n);
+  v[0] = Complex(c[0], 0.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    // V_k = e^{+i pi k / 2N} (C_k - i C_{N-k}); the conjugate-symmetry of the
+    // FFT of the real permuted sequence gives C_{N-k} = -Im(e^{-i pi k/2N} V_k).
+    const double ang = kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    v[k] = Complex(std::cos(ang), std::sin(ang)) * Complex(c[k], -c[n - k]);
+  }
+  ifft(v);
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    x[2 * j] = v[j].real();
+    x[2 * j + 1] = v[n - 1 - j].real();
+  }
+  return x;
+}
+
+double scale0(std::size_t n) { return std::sqrt(1.0 / static_cast<double>(n)); }
+double scalek(std::size_t n) { return std::sqrt(2.0 / static_cast<double>(n)); }
+
+}  // namespace
+
+std::vector<double> dct2(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  SUBSPAR_REQUIRE(n > 0);
+  if (!is_power_of_two(n) || n == 1) return dct2_naive(x);
+  auto c = dct2_unnormalized_fast(x);
+  c[0] *= scale0(n);
+  const double sk = scalek(n);
+  for (std::size_t k = 1; k < n; ++k) c[k] *= sk;
+  return c;
+}
+
+std::vector<double> dct3(const std::vector<double>& y) {
+  const std::size_t n = y.size();
+  SUBSPAR_REQUIRE(n > 0);
+  if (!is_power_of_two(n) || n == 1) return dct3_naive(y);
+  std::vector<double> c(n);
+  c[0] = y[0] / scale0(n);
+  const double sk = scalek(n);
+  for (std::size_t k = 1; k < n; ++k) c[k] = y[k] / sk;
+  // The unnormalized inverse reconstructs x from C with the implicit factor
+  // (2/N) sum' (DCT-II/DCT-III duality); fold it in here.
+  auto x = dct3_from_unnormalized_fast(c);
+  // dct3_from_unnormalized_fast returns x such that
+  // dct2_unnormalized(x') = c with x' = x; the pair is exactly inverse, so
+  // no further scaling is needed.
+  return x;
+}
+
+std::vector<double> dct2_naive(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      s += x[j] * std::cos(kPi * static_cast<double>(k) * (2.0 * static_cast<double>(j) + 1.0) /
+                           (2.0 * static_cast<double>(n)));
+    y[k] = s * (k == 0 ? scale0(n) : scalek(n));
+  }
+  return y;
+}
+
+std::vector<double> dct3_naive(const std::vector<double>& y) {
+  const std::size_t n = y.size();
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      s += y[k] * (k == 0 ? scale0(n) : scalek(n)) *
+           std::cos(kPi * static_cast<double>(k) * (2.0 * static_cast<double>(j) + 1.0) /
+                    (2.0 * static_cast<double>(n)));
+    x[j] = s;
+  }
+  return x;
+}
+
+namespace {
+
+template <typename Transform1D>
+void separable_2d(std::vector<double>& a, std::size_t rows, std::size_t cols,
+                  Transform1D&& t1d) {
+  SUBSPAR_REQUIRE(a.size() == rows * cols);
+  std::vector<double> buf;
+  // Rows.
+  for (std::size_t i = 0; i < rows; ++i) {
+    buf.assign(a.begin() + static_cast<std::ptrdiff_t>(i * cols),
+               a.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
+    auto out = t1d(buf);
+    std::copy(out.begin(), out.end(), a.begin() + static_cast<std::ptrdiff_t>(i * cols));
+  }
+  // Columns.
+  std::vector<double> colbuf(rows);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) colbuf[i] = a[i * cols + j];
+    auto out = t1d(colbuf);
+    for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = out[i];
+  }
+}
+
+}  // namespace
+
+void dct2_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
+  separable_2d(a, rows, cols, [](const std::vector<double>& v) { return dct2(v); });
+}
+
+void dct3_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
+  separable_2d(a, rows, cols, [](const std::vector<double>& v) { return dct3(v); });
+}
+
+}  // namespace subspar

@@ -1,0 +1,33 @@
+// Orthonormal discrete cosine transforms (DCT-II and its inverse DCT-III).
+//
+// The cosine modes cos(m pi (j+1/2)/N) are the eigenvectors of both the
+// Neumann-boundary grid Laplacian (fast-Poisson preconditioner, §2.2.2) and
+// the layered-substrate surface operator (eigenfunction solver, §2.3.1), so
+// these transforms diagonalize both.
+//
+// Convention: with s_0 = sqrt(1/N), s_k = sqrt(2/N),
+//   (dct2 x)_k = s_k * sum_j x_j cos(pi k (2j+1) / (2N)),
+// which makes the transform matrix orthogonal: dct3 = dct2^T = dct2^{-1}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace subspar {
+
+/// Orthonormal DCT-II. Fast (FFT-based) for power-of-two N, O(N^2) otherwise.
+std::vector<double> dct2(const std::vector<double>& x);
+/// Orthonormal DCT-III (inverse of dct2).
+std::vector<double> dct3(const std::vector<double>& x);
+
+/// O(N^2) reference implementations (any N), for validation.
+std::vector<double> dct2_naive(const std::vector<double>& x);
+std::vector<double> dct3_naive(const std::vector<double>& x);
+
+/// Separable 2-D transforms on a row-major rows x cols buffer, in place.
+void dct2_2d(std::vector<double>& a, std::size_t rows, std::size_t cols);
+void dct3_2d(std::vector<double>& a, std::size_t rows, std::size_t cols);
+
+}  // namespace subspar

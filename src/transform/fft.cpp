@@ -1,0 +1,65 @@
+#include "transform/fft.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+void fft_core(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  SUBSPAR_REQUIRE(is_power_of_two(n));
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Complex>& x) { fft_core(x, /*inverse=*/false); }
+
+void ifft(std::vector<Complex>& x) {
+  fft_core(x, /*inverse=*/true);
+  const double inv = 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= inv;
+}
+
+std::vector<Complex> dft_naive(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * kPi * static_cast<double>(j * k) / static_cast<double>(n);
+      s += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+}  // namespace subspar

@@ -1,0 +1,27 @@
+// Iterative radix-2 complex FFT.
+//
+// The fast DCTs used by the eigenfunction substrate solver (§2.3.1) and the
+// fast-Poisson preconditioner (§2.2.2) are built on this transform.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace subspar {
+
+using Complex = std::complex<double>;
+
+bool is_power_of_two(std::size_t n);
+
+/// In-place forward FFT, X_k = sum_j x_j e^{-2 pi i j k / N}. N must be a
+/// power of two.
+void fft(std::vector<Complex>& x);
+
+/// In-place inverse FFT including the 1/N normalization.
+void ifft(std::vector<Complex>& x);
+
+/// O(N^2) reference DFT for validation in tests (any N).
+std::vector<Complex> dft_naive(const std::vector<Complex>& x);
+
+}  // namespace subspar

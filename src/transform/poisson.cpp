@@ -1,0 +1,133 @@
+#include "transform/poisson.hpp"
+
+#include <cmath>
+
+#include "transform/dct.hpp"
+#include "transform/fft.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Apply the 1-D orthonormal DCT (or its inverse) along one dimension of the
+// 3-D brick.
+void transform_dim(std::vector<double>& a, const PoissonGrid& g, int dim, bool forward) {
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz;
+  const std::size_t len = dim == 0 ? nx : (dim == 1 ? ny : nz);
+  std::vector<double> buf(len);
+  const std::size_t outer1 = dim == 0 ? ny : nx;
+  const std::size_t outer2 = dim == 2 ? ny : nz;
+  for (std::size_t o2 = 0; o2 < outer2; ++o2) {
+    for (std::size_t o1 = 0; o1 < outer1; ++o1) {
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t idx = dim == 0   ? g.index(i, o1, o2)
+                                : dim == 1 ? g.index(o1, i, o2)
+                                           : g.index(o1, o2, i);
+        buf[i] = a[idx];
+      }
+      auto out = forward ? dct2(buf) : dct3(buf);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t idx = dim == 0   ? g.index(i, o1, o2)
+                                : dim == 1 ? g.index(o1, i, o2)
+                                           : g.index(o1, o2, i);
+        a[idx] = out[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FastPoisson3D::FastPoisson3D(PoissonGrid grid) : grid_(std::move(grid)) {
+  SUBSPAR_REQUIRE(grid_.nx > 0 && grid_.ny > 0 && grid_.nz > 0);
+  SUBSPAR_REQUIRE(is_power_of_two(grid_.nx) && is_power_of_two(grid_.ny));
+  SUBSPAR_REQUIRE(grid_.lateral_g.size() == grid_.nz);
+  SUBSPAR_REQUIRE(grid_.vertical_g.size() + 1 == grid_.nz || grid_.nz == 1);
+  mu_x_.resize(grid_.nx);
+  mu_y_.resize(grid_.ny);
+  for (std::size_t k = 0; k < grid_.nx; ++k)
+    mu_x_[k] = 2.0 - 2.0 * std::cos(kPi * static_cast<double>(k) / static_cast<double>(grid_.nx));
+  for (std::size_t k = 0; k < grid_.ny; ++k)
+    mu_y_[k] = 2.0 - 2.0 * std::cos(kPi * static_cast<double>(k) / static_cast<double>(grid_.ny));
+}
+
+Vector FastPoisson3D::solve(const Vector& b) const {
+  const auto& g = grid_;
+  SUBSPAR_REQUIRE(b.size() == g.size());
+  std::vector<double> a(b.begin(), b.end());
+  transform_dim(a, g, /*dim=*/0, /*forward=*/true);
+  transform_dim(a, g, /*dim=*/1, /*forward=*/true);
+
+  // Per-(kx, ky) tridiagonal solve along z (Thomas algorithm).
+  const std::size_t nz = g.nz;
+  std::vector<double> diag(nz), rhs(nz), cprime(nz);
+  for (std::size_t ky = 0; ky < g.ny; ++ky) {
+    for (std::size_t kx = 0; kx < g.nx; ++kx) {
+      const double lat = mu_x_[kx] + mu_y_[ky];
+      for (std::size_t z = 0; z < nz; ++z) {
+        double d = g.lateral_g[z] * lat;
+        if (z > 0) d += g.vertical_g[z - 1];
+        if (z + 1 < nz) d += g.vertical_g[z];
+        if (z == nz - 1) d += g.top_g;
+        if (z == 0) d += g.bottom_g;
+        diag[z] = d;
+        rhs[z] = a[g.index(kx, ky, z)];
+      }
+      if (kx == 0 && ky == 0 && g.top_g == 0.0 && g.bottom_g == 0.0) {
+        // Floating constant mode: anchor weakly so the solve stays defined
+        // (approximates the pseudo-inverse with a huge finite response).
+        double gmax = 0.0;
+        for (double v : g.vertical_g) gmax = std::max(gmax, v);
+        for (double v : g.lateral_g) gmax = std::max(gmax, v);
+        diag[nz - 1] += 1e-10 * (gmax > 0.0 ? gmax : 1.0);
+      }
+      // Thomas forward sweep.
+      double d0 = diag[0];
+      SUBSPAR_ENSURE(d0 != 0.0);
+      cprime[0] = (nz > 1) ? -g.vertical_g[0] / d0 : 0.0;
+      rhs[0] /= d0;
+      for (std::size_t z = 1; z < nz; ++z) {
+        const double lower = -g.vertical_g[z - 1];
+        const double m = diag[z] - lower * cprime[z - 1];
+        SUBSPAR_ENSURE(m != 0.0);
+        cprime[z] = (z + 1 < nz) ? -g.vertical_g[z] / m : 0.0;
+        rhs[z] = (rhs[z] - lower * rhs[z - 1]) / m;
+      }
+      for (std::size_t z = nz - 1; z-- > 0;) rhs[z] -= cprime[z] * rhs[z + 1];
+      for (std::size_t z = 0; z < nz; ++z) a[g.index(kx, ky, z)] = rhs[z];
+    }
+  }
+
+  transform_dim(a, g, /*dim=*/1, /*forward=*/false);
+  transform_dim(a, g, /*dim=*/0, /*forward=*/false);
+  return Vector(std::move(a));
+}
+
+Vector FastPoisson3D::apply(const Vector& x) const {
+  const auto& g = grid_;
+  SUBSPAR_REQUIRE(x.size() == g.size());
+  Vector y(g.size());
+  for (std::size_t z = 0; z < g.nz; ++z) {
+    const double gl = g.lateral_g[z];
+    for (std::size_t yy = 0; yy < g.ny; ++yy) {
+      for (std::size_t xx = 0; xx < g.nx; ++xx) {
+        const std::size_t i = g.index(xx, yy, z);
+        double s = 0.0;
+        auto couple = [&](std::size_t j, double gc) { s += gc * (x[i] - x[j]); };
+        if (xx > 0) couple(g.index(xx - 1, yy, z), gl);
+        if (xx + 1 < g.nx) couple(g.index(xx + 1, yy, z), gl);
+        if (yy > 0) couple(g.index(xx, yy - 1, z), gl);
+        if (yy + 1 < g.ny) couple(g.index(xx, yy + 1, z), gl);
+        if (z > 0) couple(g.index(xx, yy, z - 1), g.vertical_g[z - 1]);
+        if (z + 1 < g.nz) couple(g.index(xx, yy, z + 1), g.vertical_g[z]);
+        if (z == g.nz - 1) s += g.top_g * x[i];
+        if (z == 0) s += g.bottom_g * x[i];
+        y[i] = s;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace subspar

@@ -1,0 +1,66 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+std::string ascii_grid(std::size_t rows, std::size_t cols,
+                       const std::function<int(std::size_t, std::size_t)>& cell) {
+  // Glyph per occupancy class; class 0 is empty space.
+  static const char glyphs[] = {'.', '#', 'o', '+', 'x', '@', '%', '&'};
+  std::ostringstream out;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const int v = cell(i, j);
+      const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(v < 0 ? 0 : v),
+                                                  sizeof(glyphs) - 1);
+      out << glyphs[k];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_spy(std::size_t n,
+                      const std::vector<std::pair<std::size_t, std::size_t>>& entries,
+                      std::size_t max_side) {
+  SUBSPAR_REQUIRE(n > 0 && max_side > 0);
+  const std::size_t side = std::min(n, max_side);
+  std::vector<int> bucket(side * side, 0);
+  for (const auto& [r, c] : entries) {
+    SUBSPAR_REQUIRE(r < n && c < n);
+    const std::size_t br = r * side / n;
+    const std::size_t bc = c * side / n;
+    ++bucket[br * side + bc];
+  }
+  // Shade by bucket fill fraction so dense and sparse matrices both show
+  // their structure (a raw count threshold saturates once n >> max_side).
+  const double capacity = (static_cast<double>(n) / static_cast<double>(side)) *
+                          (static_cast<double>(n) / static_cast<double>(side));
+  std::ostringstream out;
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      const double f = static_cast<double>(bucket[i * side + j]) / capacity;
+      out << (f == 0.0 ? '.' : (f < 0.25 ? ':' : (f < 0.6 ? '*' : '#')));
+    }
+    out << '\n';
+  }
+  out << "nnz = " << entries.size() << " of " << n << "x" << n << '\n';
+  return out.str();
+}
+
+void write_pgm(const std::string& path, std::size_t rows, std::size_t cols,
+               const std::vector<unsigned char>& pixels) {
+  SUBSPAR_REQUIRE(pixels.size() == rows * cols);
+  std::ofstream f(path, std::ios::binary);
+  SUBSPAR_REQUIRE(f.good());
+  f << "P5\n" << cols << " " << rows << "\n255\n";
+  f.write(reinterpret_cast<const char*>(pixels.data()),
+          static_cast<std::streamsize>(pixels.size()));
+}
+
+}  // namespace subspar

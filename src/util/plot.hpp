@@ -1,0 +1,27 @@
+// Text and PGM rendering of contact layouts and matrix sparsity ("spy")
+// plots, standing in for the MATLAB figures of the paper (Figs. 3-6..3-10,
+// 4-8..4-11).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace subspar {
+
+/// Render an occupancy grid (row 0 printed at the top) as ASCII art.
+/// `cell(i, j)` returns 0 for empty; nonzero values map to distinct glyphs.
+std::string ascii_grid(std::size_t rows, std::size_t cols,
+                       const std::function<int(std::size_t, std::size_t)>& cell);
+
+/// MATLAB-style spy plot downsampled to at most `max_side` character cells.
+/// `entries` lists (row, col) coordinates of nonzeros of an n-by-n matrix.
+std::string ascii_spy(std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& entries,
+                      std::size_t max_side = 64);
+
+/// 8-bit binary PGM (grayscale) writer; pixels are row-major, 0 = black.
+void write_pgm(const std::string& path, std::size_t rows, std::size_t cols,
+               const std::vector<unsigned char>& pixels);
+
+}  // namespace subspar

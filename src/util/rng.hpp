@@ -1,0 +1,39 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (irregular layout generation, the
+// random sample vectors of the low-rank method, test inputs) draw from this
+// seeded xoshiro256** generator so that every extraction run and every bench
+// table is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace subspar {
+
+/// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n);
+  /// Standard normal deviate (Box-Muller, cached pair).
+  double normal();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace subspar

@@ -1,0 +1,29 @@
+// Fixed-width text tables for the bench harnesses that regenerate the
+// paper's tables. Columns auto-size to content; numeric cells are produced
+// by the caller (so each table controls its own significant digits).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace subspar {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with aligned columns, a header underline, and 2-space gutters.
+  std::string str() const;
+
+  /// Format helpers used by the benches.
+  static std::string num(double v, int precision = 3);
+  static std::string fixed(double v, int decimals = 1);
+  static std::string pct(double v, int decimals = 1);  ///< v is a fraction
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace subspar

@@ -1,0 +1,22 @@
+// Wall-clock timing for the benchmark harnesses (Table 2.2 style rows).
+#pragma once
+
+#include <chrono>
+
+namespace subspar {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed wall-clock seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace subspar

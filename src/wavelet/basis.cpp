@@ -1,0 +1,92 @@
+#include "wavelet/basis.hpp"
+
+#include "geometry/moments.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+
+std::map<SquareId, SquareBasis> build_moment_squares(const QuadTree& tree, int p,
+                                                     double rank_rel_tol) {
+  SUBSPAR_REQUIRE(p >= 0);
+  const Layout& layout = tree.layout();
+  const int maxlev = tree.max_level();
+  const std::size_t d = moment_count(p);
+  std::map<SquareId, SquareBasis> squares;
+
+  // ---- finest level: SVD of the moment matrices (eq. 3.15)
+  for (const SquareId& s : tree.squares(maxlev)) {
+    SquareBasis sb;
+    sb.contacts = tree.contacts_in(s);
+    const std::size_t ns = sb.contacts.size();
+    const auto [cx, cy] = tree.center(s);
+    const Matrix ms = moment_matrix(layout, sb.contacts, cx, cy, p);
+    const Svd dec = svd(ms);
+    const std::size_t vs = std::min(numerical_rank(dec.sigma, rank_rel_tol), ns);
+    sb.v = dec.v.block(0, 0, ns, vs);
+    sb.w = orthonormal_complement(sb.v, ns);
+    sb.v_moments = matmul(ms, sb.v);
+    SUBSPAR_ENSURE(vs <= d);
+    squares.emplace(s, std::move(sb));
+  }
+
+  // ---- coarser levels: recombine child V's (eq. 3.16)
+  for (int lev = maxlev - 1; lev >= 0; --lev) {
+    for (const SquareId& s : tree.squares(lev)) {
+      const auto kids = tree.children(s);
+      SUBSPAR_ENSURE(!kids.empty());
+      const auto [cx, cy] = tree.center(s);
+
+      // Assemble V^(children) and the parent-centered moments B of its
+      // columns, shifting each child's stored moments to the new center.
+      std::size_t rows = 0, cols = 0;
+      for (const auto& c : kids) {
+        rows += squares.at(c).contacts.size();
+        cols += squares.at(c).v.cols();
+      }
+      SquareBasis sb;
+      sb.contacts.reserve(rows);
+      Matrix vch(rows, cols);
+      Matrix b(d, cols);
+      std::size_t r0 = 0, c0 = 0;
+      for (const auto& c : kids) {
+        const SquareBasis& cb = squares.at(c);
+        sb.contacts.insert(sb.contacts.end(), cb.contacts.begin(), cb.contacts.end());
+        vch.set_block(r0, c0, cb.v);
+        const auto [ccx, ccy] = tree.center(c);
+        const Matrix shift = moment_shift(cx - ccx, cy - ccy, p);
+        b.set_block(0, c0, matmul(shift, cb.v_moments));
+        r0 += cb.contacts.size();
+        c0 += cb.v.cols();
+      }
+
+      if (cols == 0) {
+        sb.v = Matrix(rows, 0);
+        sb.w = Matrix(rows, 0);
+        sb.v_moments = Matrix(d, 0);
+        squares.emplace(s, std::move(sb));
+        continue;
+      }
+
+      const Svd dec = svd(b);
+      const std::size_t vs = std::min(numerical_rank(dec.sigma, rank_rel_tol), cols);
+      const Matrix t = dec.v.block(0, 0, cols, vs);
+      const Matrix r = orthonormal_complement(t, cols);
+      sb.v = matmul(vch, t);
+      sb.w = matmul(vch, r);
+      sb.v_moments = matmul(b, t);
+      squares.emplace(s, std::move(sb));
+    }
+  }
+  return squares;
+}
+
+}  // namespace
+
+WaveletBasis::WaveletBasis(const QuadTree& tree, int p, double rank_rel_tol)
+    : TransformBasis(tree, build_moment_squares(tree, p, rank_rel_tol), /*root_level=*/0),
+      p_(p) {}
+
+}  // namespace subspar

@@ -1,0 +1,30 @@
+// Multilevel vanishing-moment ("wavelet") basis construction (§3.4).
+//
+// Per finest-level square s the SVD of the moment matrix M_s splits the
+// square's voltage space into V_s (nonvanishing moments, pushed up) and W_s
+// (all moments of order <= p vanish: fast-decaying current response). Coarser
+// levels recombine the child V's through the SVD of their (center-shifted)
+// moments (eq. 3.16). The columns of the orthogonal change-of-basis matrix Q
+// are all W vectors plus the level-0 leftovers V_root (eq. 3.10).
+#pragma once
+
+#include "wavelet/transform_basis.hpp"
+
+namespace subspar {
+
+using WaveletColumn = BasisColumn;
+
+class WaveletBasis : public TransformBasis {
+ public:
+  /// p: vanishing-moment order (the paper uses p = 2, i.e. 6 constraints).
+  /// rank_rel_tol: singular values below rank_rel_tol * sigma_max count as
+  /// zero when sizing V_s.
+  explicit WaveletBasis(const QuadTree& tree, int p = 2, double rank_rel_tol = 1e-10);
+
+  int p() const { return p_; }
+
+ private:
+  int p_;
+};
+
+}  // namespace subspar

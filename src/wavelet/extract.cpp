@@ -1,0 +1,101 @@
+#include "wavelet/extract.hpp"
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+Matrix transform_congruence(const SparseMatrix& q, const Matrix& g) {
+  const std::size_t n = g.rows();
+  SUBSPAR_REQUIRE(q.rows() == n && q.cols() == n && g.cols() == n);
+  // GQ column by column (Q columns are sparse), then Q' (GQ).
+  Matrix gq(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector acc(n);
+    Vector ej(n);
+    ej[j] = 1.0;
+    const Vector qj = q.apply(ej);  // dense column of Q
+    for (std::size_t k = 0; k < n; ++k) {
+      if (qj[k] == 0.0) continue;
+      const double w = qj[k];
+      for (std::size_t i = 0; i < n; ++i) acc[i] += w * g(i, k);
+    }
+    gq.set_col(j, acc);
+  }
+  Matrix gw(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Vector col = gq.col(j);
+    const Vector qtcol = q.apply_t(col);
+    gw.set_col(j, qtcol);
+  }
+  return gw;
+}
+
+WaveletExtraction wavelet_extract_reference(const SubstrateSolver& solver,
+                                            const TransformBasis& basis) {
+  const long before = solver.solve_count();
+  const Matrix g = extract_dense(solver);
+  const Matrix gw = transform_congruence(basis.q(), g);
+  WaveletExtraction out;
+  out.gws = WaveletPattern(basis).mask(gw);
+  out.solves = solver.solve_count() - before;
+  return out;
+}
+
+WaveletExtraction wavelet_extract_combined(const SubstrateSolver& solver,
+                                           const TransformBasis& basis) {
+  const QuadTree& tree = basis.tree();
+  const std::size_t n = basis.n();
+  const long before = solver.solve_count();
+  SymmetricEntryAccumulator acc(n);
+
+  // ---- root-level leftovers: one solve per V column gives a full row and
+  // column of G_w (expressions 3.21-3.23).
+  for (const std::size_t k : basis.root_columns()) {
+    const Vector u = solver.solve(basis.column_vector(k));
+    for (std::size_t j = 0; j < n; ++j) acc.record(j, k, basis.column_dot(j, u));
+  }
+
+  // ---- W blocks: combine basis vectors of squares >= 3 apart (eq. 3.24).
+  for (int lev = basis.root_level(); lev <= tree.max_level(); ++lev) {
+    const std::size_t max_m = basis.max_w_on_level(lev);
+    for (std::size_t m = 0; m < max_m; ++m) {
+      for (int pa = 0; pa < 3; ++pa) {
+        for (int pb = 0; pb < 3; ++pb) {
+          // Gather this phase's constituent squares.
+          std::vector<SquareId> members;
+          Vector theta(n);
+          for (const SquareId& s : tree.squares(lev)) {
+            if (s.ix % 3 != pa || s.iy % 3 != pb) continue;
+            const auto& wcols = basis.w_columns(s);
+            if (m >= wcols.size()) continue;
+            theta += basis.column_vector(wcols[m]);
+            members.push_back(s);
+          }
+          if (members.empty()) continue;
+          const Vector u = solver.solve(theta);
+
+          // Extract the response to each constituent at every basis vector
+          // whose square is not well-separated from it (levels >= lev; the
+          // coarser-level entries come from symmetry).
+          for (const SquareId& s : members) {
+            const std::size_t col_idx = basis.w_columns(s)[m];
+            for (const SquareId& t : tree.local(s)) {
+              for (const SquareId& sp : subtree_squares(tree, t)) {
+                for (const std::size_t row_idx : basis.w_columns(sp)) {
+                  acc.record(row_idx, col_idx, basis.column_dot(row_idx, u));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  WaveletExtraction out;
+  out.gws = acc.build();
+  out.solves = solver.solve_count() - before;
+  return out;
+}
+
+}  // namespace subspar

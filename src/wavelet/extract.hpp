@@ -1,0 +1,35 @@
+// Extraction of G_ws in the wavelet basis (§3.5).
+//
+// Two paths produce G_ws ~ Q' G Q restricted to the conservative pattern:
+//   * reference: n black-box solves (dense G), transform, mask — the ground
+//     truth the fast path is validated against;
+//   * combine-solves: basis vectors of well-separated squares (>= 3 apart on
+//     their level) are summed into one voltage vector per (level, 3x3 phase,
+//     m) triple (eq. 3.24), cutting the solve count to O(log n).
+#pragma once
+
+#include "linalg/sparse.hpp"
+#include "substrate/solver.hpp"
+#include "wavelet/basis.hpp"
+#include "wavelet/pattern.hpp"
+
+namespace subspar {
+
+struct WaveletExtraction {
+  SparseMatrix gws;   ///< pattern-restricted transformed conductance matrix
+  long solves = 0;    ///< black-box solves consumed
+};
+
+/// Fast path: combine-solves technique. Accepts any multilevel basis with
+/// the W/V structure (wavelet or low-rank fine-to-coarse output).
+WaveletExtraction wavelet_extract_combined(const SubstrateSolver& solver,
+                                           const TransformBasis& basis);
+
+/// Reference path: dense extraction (n solves) then transform + mask.
+WaveletExtraction wavelet_extract_reference(const SubstrateSolver& solver,
+                                            const TransformBasis& basis);
+
+/// Q' G Q for a dense G using the sparse Q (helper shared with tests).
+Matrix transform_congruence(const SparseMatrix& q, const Matrix& g);
+
+}  // namespace subspar

@@ -1,0 +1,64 @@
+#include "wavelet/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace subspar {
+
+bool WaveletPattern::allowed(std::size_t i, std::size_t j) const {
+  const auto& cols = basis_->columns();
+  SUBSPAR_REQUIRE(i < cols.size() && j < cols.size());
+  const BasisColumn& a = cols[i];
+  const BasisColumn& b = cols[j];
+  if (!a.vanishing || !b.vanishing) return true;  // root V rows/cols all kept
+  return !basis_->tree().well_separated(a.square, b.square);
+}
+
+std::vector<SquareId> subtree_squares(const QuadTree& tree, const SquareId& t) {
+  std::vector<SquareId> out;
+  out.push_back(t);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    if (out[k].level >= tree.max_level()) continue;
+    for (const SquareId& c : tree.children(out[k])) out.push_back(c);
+  }
+  return out;
+}
+
+SparseMatrix WaveletPattern::mask(const Matrix& gw) const {
+  const std::size_t n = basis_->n();
+  SUBSPAR_REQUIRE(gw.rows() == n && gw.cols() == n);
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (gw(i, j) != 0.0 && allowed(i, j)) b.add(i, j, gw(i, j));
+  return SparseMatrix(b);
+}
+
+std::size_t WaveletPattern::count_allowed() const {
+  const std::size_t n = basis_->n();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) count += allowed(i, j);
+  return count;
+}
+
+SparseMatrix threshold_to_nnz(const SparseMatrix& a, std::size_t target_nnz) {
+  if (a.nnz() <= target_nnz) return a;
+  std::vector<double> mags;
+  mags.reserve(a.nnz());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k)
+      mags.push_back(std::abs(a.value(k)));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(target_nnz),
+                   mags.end(), std::greater<double>());
+  const double cut = mags[target_nnz];
+  SparseBuilder b(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k)
+      if (std::abs(a.value(k)) > cut) b.add(i, a.col_index(k), a.value(k));
+  return SparseMatrix(b);
+}
+
+}  // namespace subspar

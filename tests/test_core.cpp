@@ -1,0 +1,162 @@
+// Tests for the facade (core/extractor) and shared reporting: end-to-end
+// extraction with both methods, fast apply fidelity, thresholding option,
+// and the error-metric helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/extractor.hpp"
+#include "core/io.hpp"
+#include "core/report.hpp"
+#include "geometry/layout_gen.hpp"
+#include "substrate/eigen_solver.hpp"
+#include "substrate/solver.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+namespace {
+
+struct CoreFixture {
+  Layout layout;
+  QuadTree tree;
+  SurfaceSolver solver;
+  explicit CoreFixture(Layout l)
+      : layout(std::move(l)), tree(layout), solver(layout, paper_stack()) {}
+};
+
+TEST(Extractor, LowRankModelAppliesAccurately) {
+  CoreFixture f(regular_grid_layout(8));
+  const Matrix g = extract_dense(f.solver);
+  f.solver.reset_solve_count();
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  Rng rng(1);
+  Vector v(f.layout.n_contacts());
+  for (auto& x : v) x = rng.normal();
+  const Vector exact = matvec(g, v);
+  EXPECT_LT(norm2(model.apply(v) - exact), 0.03 * norm2(exact));
+  EXPECT_EQ(model.solves_used(), f.solver.solve_count());
+}
+
+TEST(Extractor, WaveletModelAppliesAccurately) {
+  CoreFixture f(regular_grid_layout(8));
+  const Matrix g = extract_dense(f.solver);
+  const SparsifiedModel model =
+      extract_sparsified(f.solver, f.tree, {.method = SparsifyMethod::kWavelet});
+  Rng rng(2);
+  Vector v(f.layout.n_contacts());
+  for (auto& x : v) x = rng.normal();
+  const Vector exact = matvec(g, v);
+  EXPECT_LT(norm2(model.apply(v) - exact), 0.03 * norm2(exact));
+}
+
+TEST(Extractor, ThresholdOptionIncreasesSparsity) {
+  CoreFixture f(regular_grid_layout(16));
+  const SparsifiedModel plain = extract_sparsified(f.solver, f.tree);
+  const SparsifiedModel thresholded =
+      extract_sparsified(f.solver, f.tree, {.threshold_sparsity_multiple = 6.0});
+  EXPECT_GT(thresholded.gw_sparsity_factor(), 5.0 * plain.gw_sparsity_factor());
+}
+
+TEST(Extractor, SummaryMentionsKeyMetrics) {
+  CoreFixture f(regular_grid_layout(8));
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  const std::string s = model.summary();
+  EXPECT_NE(s.find("solves"), std::string::npos);
+  EXPECT_NE(s.find("sparsity"), std::string::npos);
+}
+
+TEST(Extractor, MomentOrderRespectedForWavelet) {
+  CoreFixture f(regular_grid_layout(8));
+  const SparsifiedModel p0 = extract_sparsified(
+      f.solver, f.tree, {.method = SparsifyMethod::kWavelet, .moment_order = 0});
+  const SparsifiedModel p2 = extract_sparsified(
+      f.solver, f.tree, {.method = SparsifyMethod::kWavelet, .moment_order = 2});
+  // Fewer constraints -> fewer leftover V vectors -> different structure;
+  // both remain valid orthogonal transforms of the same size.
+  EXPECT_EQ(p0.q().rows(), p2.q().rows());
+  EXPECT_NE(p0.gw().nnz(), p2.gw().nnz());
+}
+
+TEST(Report, ReconstructColumnMatchesDenseProduct) {
+  CoreFixture f(regular_grid_layout(4));
+  const Matrix g = extract_dense(f.solver);
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  const Vector col = reconstruct_column(model.q(), model.gw(), 3);
+  Vector e(f.layout.n_contacts());
+  e[3] = 1.0;
+  EXPECT_LT(norm2(col - model.apply(e)), 1e-12);
+}
+
+TEST(Report, DirectThresholdKeepsFractionSemantics) {
+  Matrix g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) g(i, j) = (i == j) ? 10.0 : 0.01;
+  // Keeping ~1/3 of entries keeps the diagonal: off-diagonals all wrong.
+  const ErrorStats stats = direct_threshold_error(g, 0.34);
+  EXPECT_NEAR(stats.frac_above_10pct, 6.0 / 9.0, 0.01);
+  EXPECT_NEAR(stats.max_rel_error, 1.0, 1e-12);
+}
+
+TEST(Report, ErrorStatsCountEntries) {
+  CoreFixture f(regular_grid_layout(4));
+  const Matrix g = extract_dense(f.solver);
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  const ErrorStats full = reconstruction_error(model.q(), model.gw(), g);
+  EXPECT_EQ(full.entries, f.layout.n_contacts() * f.layout.n_contacts());
+  const std::vector<std::size_t> cols{0, 5};
+  const Matrix gc = extract_columns(f.solver, cols);
+  const ErrorStats sampled = reconstruction_error(model.q(), model.gw(), gc, cols);
+  EXPECT_EQ(sampled.entries, 2 * f.layout.n_contacts());
+}
+
+
+TEST(ModelIo, SaveLoadRoundTripsExactly) {
+  CoreFixture f(regular_grid_layout(8));
+  const SparsifiedModel model =
+      extract_sparsified(f.solver, f.tree, {.threshold_sparsity_multiple = 4.0});
+  const std::string path = "/tmp/subspar_model_test.txt";
+  save_model(path, model);
+  const SparsifiedModel loaded = load_model(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.q().nnz(), model.q().nnz());
+  EXPECT_EQ(loaded.gw().nnz(), model.gw().nnz());
+  EXPECT_EQ(loaded.solves_used(), model.solves_used());
+  // Hex-float serialization must be bit exact.
+  EXPECT_EQ((loaded.q().to_dense() - model.q().to_dense()).max_abs(), 0.0);
+  EXPECT_EQ((loaded.gw().to_dense() - model.gw().to_dense()).max_abs(), 0.0);
+  Rng rng(9);
+  Vector v(f.layout.n_contacts());
+  for (auto& x : v) x = rng.normal();
+  EXPECT_EQ(norm2(loaded.apply(v) - model.apply(v)), 0.0);
+}
+
+TEST(ModelIo, LoadRejectsGarbage) {
+  const std::string path = "/tmp/subspar_model_garbage.txt";
+  FILE* fp = std::fopen(path.c_str(), "w");
+  ASSERT_NE(fp, nullptr);
+  std::fputs("not a model\n", fp);
+  std::fclose(fp);
+  EXPECT_THROW(load_model(path), std::invalid_argument);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model("/nonexistent/path/model.txt"), std::invalid_argument);
+}
+
+class MethodSweep : public ::testing::TestWithParam<SparsifyMethod> {};
+
+TEST_P(MethodSweep, ModelsAreSymmetricOperators) {
+  CoreFixture f(irregular_layout(8, 0.6, 5));
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree, {.method = GetParam()});
+  Rng rng(7);
+  Vector a(f.layout.n_contacts()), b(f.layout.n_contacts());
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  EXPECT_NEAR(dot(model.apply(a), b), dot(a, model.apply(b)),
+              1e-9 * norm2(a) * norm2(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodSweep,
+                         ::testing::Values(SparsifyMethod::kWavelet, SparsifyMethod::kLowRank));
+
+}  // namespace
+}  // namespace subspar

@@ -1,0 +1,316 @@
+// Tests for the geometry substrate: layouts, quadtree square relations, and
+// analytical contact moments (validated against numerical quadrature).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geometry/layout.hpp"
+#include "geometry/layout_gen.hpp"
+#include "geometry/moments.hpp"
+#include "geometry/quadtree.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+namespace {
+
+// ---------------------------------------------------------------- layout
+
+TEST(Layout, AreaCentroidPanelsOfRectContact) {
+  Layout l(8, 8, 2.0);
+  const std::size_t id = l.add_contact(Contact(1, 2, 2, 3));
+  EXPECT_DOUBLE_EQ(l.contact_area(id), 6.0 * 4.0);
+  const auto [cx, cy] = l.contact_centroid(id);
+  EXPECT_DOUBLE_EQ(cx, 2.0 * 2.0);  // x in [2,6], center 4
+  EXPECT_DOUBLE_EQ(cy, 3.5 * 2.0);  // y in [4,10], center 7
+  EXPECT_EQ(l.contact_panels(id).size(), 6u);
+  EXPECT_EQ(l.panel_owner(1, 2), 0);
+  EXPECT_EQ(l.panel_owner(0, 0), -1);
+}
+
+TEST(Layout, RejectsOverlapAndOutOfBounds) {
+  Layout l(8, 8, 1.0);
+  l.add_contact(Contact(0, 0, 2, 2));
+  EXPECT_THROW(l.add_contact(Contact(1, 1, 2, 2)), std::invalid_argument);
+  EXPECT_THROW(l.add_contact(Contact(7, 7, 2, 2)), std::invalid_argument);
+  EXPECT_THROW(l.add_contact(Contact(0, 0, 0, 1)), std::invalid_argument);
+}
+
+TEST(Layout, MultiPartContactActsAsOne) {
+  Layout l(8, 8, 1.0);
+  // L-shaped contact from two rects.
+  Contact c(std::vector<Rect>{{0, 0, 3, 1}, {0, 1, 1, 2}});
+  const std::size_t id = l.add_contact(c);
+  EXPECT_EQ(l.contact_panels(id).size(), 5u);
+  const Rect bb = l.contact(id).bounding_box();
+  EXPECT_EQ(bb.w, 3);
+  EXPECT_EQ(bb.h, 3);
+}
+
+TEST(Layout, AsciiRenderingHasExpectedSize) {
+  const Layout l = regular_grid_layout(4);
+  const std::string art = l.ascii();
+  // 16 panel rows, each 16 chars + newline.
+  EXPECT_EQ(art.size(), 16u * 17u);
+}
+
+// ---------------------------------------------------------------- layout generators
+
+TEST(LayoutGen, RegularGridCountsAndSpacing) {
+  const Layout l = regular_grid_layout(8);
+  EXPECT_EQ(l.n_contacts(), 64u);
+  EXPECT_EQ(l.panels_x(), 32u);
+  // All contacts the same size.
+  for (std::size_t i = 0; i < l.n_contacts(); ++i)
+    EXPECT_DOUBLE_EQ(l.contact_area(i), l.contact_area(0));
+}
+
+TEST(LayoutGen, IrregularDropsSitesDeterministically) {
+  const Layout a = irregular_layout(16, 0.6, 7);
+  const Layout b = irregular_layout(16, 0.6, 7);
+  EXPECT_EQ(a.n_contacts(), b.n_contacts());
+  EXPECT_LT(a.n_contacts(), 256u);
+  EXPECT_GT(a.n_contacts(), 64u);
+}
+
+TEST(LayoutGen, AlternatingSizesHasTwoAreas) {
+  const Layout l = alternating_size_layout(8);
+  std::set<double> areas;
+  for (std::size_t i = 0; i < l.n_contacts(); ++i) areas.insert(l.contact_area(i));
+  EXPECT_EQ(areas.size(), 2u);
+  EXPECT_EQ(l.n_contacts(), 64u);
+}
+
+TEST(LayoutGen, SimpleSixAreaRatio) {
+  const Layout l = simple_six_layout();
+  ASSERT_EQ(l.n_contacts(), 6u);
+  EXPECT_NEAR(l.contact_area(1) / l.contact_area(0), 2.25, 1e-12);
+}
+
+TEST(LayoutGen, MixedShapesContainsRings) {
+  const Layout l = mixed_shapes_layout(16, 3);
+  bool has_multipart = false;
+  for (std::size_t i = 0; i < l.n_contacts(); ++i)
+    if (l.contact(i).parts.size() > 1) has_multipart = true;
+  EXPECT_TRUE(has_multipart);
+}
+
+TEST(LayoutGen, LargeMixedScalesWithCells) {
+  const Layout small = large_mixed_layout(16, 0.8, 5);
+  const Layout large = large_mixed_layout(32, 0.8, 5);
+  EXPECT_GT(large.n_contacts(), 2u * small.n_contacts());
+}
+
+// ---------------------------------------------------------------- quadtree
+
+TEST(QuadTree, AutoLevelKeepsContactsInsideSquares) {
+  const Layout l = regular_grid_layout(8);  // 32 panels, cells of 4
+  const QuadTree qt(l);
+  EXPECT_EQ(qt.max_level(), 3);  // level-3 squares are 4 panels: one cell
+  for (std::size_t i = 0; i < l.n_contacts(); ++i) {
+    const SquareId s = qt.home_square(i);
+    EXPECT_EQ(s.level, qt.max_level());
+    const auto& ids = qt.contacts_in(s);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), i), ids.end());
+  }
+}
+
+TEST(QuadTree, ContactsAggregateUpLevels) {
+  const Layout l = regular_grid_layout(8);
+  const QuadTree qt(l);
+  // Level 0 = everything.
+  EXPECT_EQ(qt.contacts_in(SquareId{0, 0, 0}).size(), 64u);
+  // Level 1: quarter each.
+  EXPECT_EQ(qt.contacts_in(SquareId{1, 0, 0}).size(), 16u);
+  std::size_t total = 0;
+  for (const auto& s : qt.squares(2)) total += qt.contact_count(s);
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(QuadTree, ParentChildAncestorConsistency) {
+  const Layout l = regular_grid_layout(8);
+  const QuadTree qt(l);
+  const SquareId s{3, 5, 6};
+  const SquareId p = qt.parent(s);
+  EXPECT_EQ(p, (SquareId{2, 2, 3}));
+  EXPECT_EQ(qt.ancestor(s, 1), (SquareId{1, 1, 1}));
+  EXPECT_EQ(qt.ancestor(s, 3), s);
+  const auto kids = qt.children(p);
+  EXPECT_NE(std::find(kids.begin(), kids.end(), s), kids.end());
+}
+
+TEST(QuadTree, InteractiveAndLocalDefinitions) {
+  const Layout l = regular_grid_layout(8);
+  const QuadTree qt(l);
+  const SquareId s{3, 3, 3};  // interior square
+  const auto inter = qt.interactive(s);
+  const auto loc = qt.local(s);
+  EXPECT_EQ(loc.size(), 9u);  // full 3x3 neighborhood populated
+  // Interactive: children of parent's neighborhood minus local: 36 - 9 = 27.
+  EXPECT_EQ(inter.size(), 27u);
+  for (const auto& d : inter) {
+    EXPECT_FALSE(QuadTree::adjacent_or_same(d, s));
+    EXPECT_TRUE(QuadTree::adjacent_or_same(qt.parent(d), qt.parent(s)));
+  }
+}
+
+TEST(QuadTree, InteractiveIsSymmetric) {
+  const Layout l = regular_grid_layout(8);
+  const QuadTree qt(l);
+  for (const auto& s : qt.squares(3)) {
+    for (const auto& d : qt.interactive(s)) {
+      const auto back = qt.interactive(d);
+      EXPECT_NE(std::find(back.begin(), back.end(), s), back.end());
+    }
+  }
+}
+
+TEST(QuadTree, WellSeparatedCrossLevelRule) {
+  const Layout l = regular_grid_layout(8);
+  const QuadTree qt(l);
+  const SquareId coarse{2, 0, 0};
+  // Fine square under a neighbor of `coarse`: not well separated.
+  EXPECT_FALSE(qt.well_separated(coarse, SquareId{3, 2, 2}));
+  // Fine square whose level-2 ancestor is 2 squares away: well separated.
+  EXPECT_TRUE(qt.well_separated(coarse, SquareId{3, 6, 0}));
+  // Symmetry.
+  EXPECT_TRUE(qt.well_separated(SquareId{3, 6, 0}, coarse));
+}
+
+TEST(QuadTree, RejectsTooDeepExplicitLevel) {
+  const Layout l = regular_grid_layout(8);
+  // Contacts span 2 panels: they cross boundaries of 2-panel squares (level 4).
+  EXPECT_THROW(QuadTree(l, 4), std::invalid_argument);
+  EXPECT_NO_THROW(QuadTree(l, 3));
+  EXPECT_NO_THROW(QuadTree(l, 2));
+}
+
+TEST(QuadTree, EmptySquaresSkipped) {
+  Layout l(64, 64, 1.0);
+  l.add_contact(Contact(1, 1, 2, 2));
+  l.add_contact(Contact(61, 61, 2, 2));
+  const QuadTree qt(l, 2);
+  EXPECT_EQ(qt.squares(2).size(), 2u);
+  EXPECT_TRUE(qt.is_empty(SquareId{2, 1, 1}));
+}
+
+
+TEST(QuadTree, FmmPartitionCoversEveryPairExactlyOnce) {
+  // The correctness backbone of the multilevel apply (§4.3.2): for any two
+  // contacts, either their finest-level squares are local (handled by the
+  // finest-level blocks) or there is exactly one level at which their
+  // ancestor squares are interactive.
+  for (const Layout& l : {regular_grid_layout(8), mixed_shapes_layout(16, 3),
+                          large_mixed_layout(8, 0.7, 9)}) {
+    const QuadTree qt(l);
+    Rng rng(17);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t i = rng.below(l.n_contacts());
+      const std::size_t j = rng.below(l.n_contacts());
+      const SquareId si = qt.home_square(i), sj = qt.home_square(j);
+      int interactive_levels = 0;
+      for (int lev = 2; lev <= qt.max_level(); ++lev) {
+        const SquareId ai = qt.ancestor(si, lev), aj = qt.ancestor(sj, lev);
+        const auto inter = qt.interactive(ai);
+        interactive_levels += std::count(inter.begin(), inter.end(), aj) > 0;
+      }
+      const bool finest_local = QuadTree::adjacent_or_same(si, sj);
+      ASSERT_EQ(interactive_levels + (finest_local ? 1 : 0), 1)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- moments
+
+TEST(Moments, CountAndIndexing) {
+  EXPECT_EQ(moment_count(0), 1u);
+  EXPECT_EQ(moment_count(2), 6u);
+  EXPECT_EQ(moment_index(0, 0), 0u);
+  EXPECT_EQ(moment_index(1, 0), 1u);
+  EXPECT_EQ(moment_index(0, 1), 2u);
+  EXPECT_EQ(moment_index(2, 0), 3u);
+  EXPECT_EQ(moment_index(1, 1), 4u);
+  EXPECT_EQ(moment_index(0, 2), 5u);
+}
+
+TEST(Moments, ZerothMomentIsArea) {
+  Contact c(2, 3, 4, 5);
+  const Vector m = contact_moments(c, 1.5, 0.0, 0.0, 0);
+  EXPECT_NEAR(m[0], 20.0 * 1.5 * 1.5, 1e-12);
+}
+
+TEST(Moments, FirstMomentVanishesAboutCentroid) {
+  Contact c(2, 3, 4, 6);
+  const double h = 2.0;
+  // Centroid of [4,12] x [6,18].
+  const Vector m = contact_moments(c, h, 8.0, 12.0, 2);
+  EXPECT_NEAR(m[moment_index(1, 0)], 0.0, 1e-10);
+  EXPECT_NEAR(m[moment_index(0, 1)], 0.0, 1e-10);
+}
+
+TEST(Moments, MatchesNumericalQuadrature) {
+  Contact c(std::vector<Rect>{{1, 1, 3, 1}, {1, 2, 1, 2}});  // L-shape
+  const double h = 1.0, cx = 2.0, cy = 2.5;
+  const int p = 3;
+  const Vector m = contact_moments(c, h, cx, cy, p);
+  // Midpoint quadrature over fine subcells.
+  const int sub = 64;
+  Vector q(moment_count(p));
+  for (const auto& r : c.parts) {
+    for (int iy = 0; iy < r.h * sub; ++iy) {
+      for (int ix = 0; ix < r.w * sub; ++ix) {
+        const double x = (r.x0 + (ix + 0.5) / sub) * h - cx;
+        const double y = (r.y0 + (iy + 0.5) / sub) * h - cy;
+        const double da = (h / sub) * (h / sub);
+        for (int o = 0; o <= p; ++o)
+          for (int a = o; a >= 0; --a)
+            q[moment_index(a, o - a)] += std::pow(x, a) * std::pow(y, o - a) * da;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < m.size(); ++k) EXPECT_NEAR(m[k], q[k], 1e-3 + 1e-3 * std::abs(m[k]));
+}
+
+TEST(Moments, ShiftMatrixRelocatesCenter) {
+  Contact c(3, 5, 2, 4);
+  const double h = 1.0;
+  const int p = 2;
+  const Vector m_old = contact_moments(c, h, 1.0, 2.0, p);
+  const Vector m_new = contact_moments(c, h, 1.0 + 0.7, 2.0 - 1.3, p);
+  const Matrix s = moment_shift(0.7, -1.3, p);
+  const Vector shifted = matvec(s, m_old);
+  for (std::size_t k = 0; k < m_new.size(); ++k) EXPECT_NEAR(shifted[k], m_new[k], 1e-10);
+}
+
+TEST(Moments, ShiftMatrixComposes) {
+  const int p = 2;
+  const Matrix s1 = moment_shift(0.5, 0.25, p);
+  const Matrix s2 = moment_shift(-1.5, 2.0, p);
+  const Matrix s12 = moment_shift(-1.0, 2.25, p);
+  EXPECT_LT((matmul(s2, s1) - s12).max_abs(), 1e-12);
+}
+
+TEST(Moments, MomentMatrixColumnsMatchContacts) {
+  const Layout l = regular_grid_layout(4);
+  const std::vector<std::size_t> ids{0, 1, 5};
+  const Matrix m = moment_matrix(l, ids, 10.0, 12.0, 2);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.cols(), 3u);
+  const Vector ref = contact_moments(l.contact(1), l.panel_size(), 10.0, 12.0, 2);
+  for (std::size_t k = 0; k < 6; ++k) EXPECT_DOUBLE_EQ(m(k, 1), ref[k]);
+}
+
+class MomentOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentOrderSweep, ShiftIsInvertibleByOppositeShift) {
+  const int p = GetParam();
+  const Matrix s = moment_shift(1.3, -0.4, p);
+  const Matrix si = moment_shift(-1.3, 0.4, p);
+  EXPECT_LT((matmul(si, s) - Matrix::identity(moment_count(p))).max_abs(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MomentOrderSweep, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace subspar

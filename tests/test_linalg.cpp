@@ -1,0 +1,428 @@
+// Tests for the dense linear-algebra substrate: vector/matrix kernels and
+// every factorization, including randomized property sweeps (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eig_sym.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  return a;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a = matmul_tn(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) { return (a - b).max_abs(); }
+
+// ---------------------------------------------------------------- vectors
+
+TEST(Vector, ArithmeticAndNorms) {
+  Vector a{1.0, 2.0, 2.0};
+  Vector b{1.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 1.0);
+  a.axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a(3), b(4);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- matrices
+
+TEST(Matrix, MatvecMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector x{1.0, 1.0, 1.0};
+  const Vector y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const Vector z = matvec_t(a, Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(Matrix, MultiplyVariantsAgree) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(6, 5, rng);
+  const Matrix c1 = matmul(a, b);
+  const Matrix c2 = matmul_tn(a.transposed(), b);
+  const Matrix c3 = matmul_nt(a, b.transposed());
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
+  EXPECT_LT(max_abs_diff(c1, c3), 1e-12);
+}
+
+TEST(Matrix, BlockAndHcat) {
+  Rng rng(4);
+  const Matrix a = random_matrix(5, 4, rng);
+  const Matrix b = a.block(1, 1, 3, 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), a(1, 1));
+  EXPECT_DOUBLE_EQ(b(2, 1), a(3, 2));
+  const Matrix c = Matrix::hcat(a, a);
+  EXPECT_EQ(c.cols(), 8u);
+  EXPECT_DOUBLE_EQ(c(2, 6), a(2, 2));
+}
+
+TEST(Matrix, HcatWithEmptyOperand) {
+  Matrix a(3, 2, 1.0);
+  Matrix empty(3, 0);
+  EXPECT_EQ(Matrix::hcat(a, empty).cols(), 2u);
+  EXPECT_EQ(Matrix::hcat(empty, a).cols(), 2u);
+}
+
+// ---------------------------------------------------------------- cholesky
+
+TEST(Cholesky, ReconstructsAndSolves) {
+  Rng rng(5);
+  const Matrix a = random_spd(12, rng);
+  const Cholesky chol(a);
+  const Matrix l = chol.lower();
+  EXPECT_LT(max_abs_diff(matmul_nt(l, l), a), 1e-9);
+  const Vector b = random_matrix(12, 1, rng).col(0);
+  const Vector x = chol.solve(b);
+  EXPECT_LT(norm2(matvec(a, x) - b), 1e-9 * norm2(b));
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(Cholesky{a}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- QR
+
+TEST(QR, ThinQOrthonormalAndReconstructs) {
+  Rng rng(6);
+  const Matrix a = random_matrix(10, 4, rng);
+  const QR qr(a);
+  const Matrix q = qr.thin_q();
+  const Matrix qtq = matmul_tn(q, q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(4)), 1e-12);
+  EXPECT_LT(max_abs_diff(matmul(q, qr.r()), a), 1e-12);
+}
+
+TEST(QR, FullQOrthogonal) {
+  Rng rng(7);
+  const Matrix a = random_matrix(8, 3, rng);
+  const Matrix q = QR(a).full_q();
+  EXPECT_LT(max_abs_diff(matmul_tn(q, q), Matrix::identity(8)), 1e-12);
+}
+
+TEST(QR, LeastSquaresMatchesNormalEquations) {
+  Rng rng(8);
+  const Matrix a = random_matrix(12, 5, rng);
+  const Vector b = random_matrix(12, 1, rng).col(0);
+  const Vector x = QR(a).solve(b);
+  // Residual must be orthogonal to range(A).
+  const Vector r = matvec(a, x) - b;
+  EXPECT_LT(norm_inf(matvec_t(a, r)), 1e-10);
+}
+
+TEST(QR, OrthonormalComplementCompletesBasis) {
+  Rng rng(9);
+  Matrix u = QR(random_matrix(7, 3, rng)).thin_q();
+  const Matrix w = orthonormal_complement(u, 7);
+  ASSERT_EQ(w.cols(), 4u);
+  const Matrix full = Matrix::hcat(u, w);
+  EXPECT_LT(max_abs_diff(matmul_tn(full, full), Matrix::identity(7)), 1e-12);
+}
+
+TEST(QR, OrthonormalComplementEdgeCases) {
+  EXPECT_EQ(orthonormal_complement(Matrix(5, 0), 5).cols(), 5u);
+  Rng rng(10);
+  const Matrix u = QR(random_matrix(4, 4, rng)).thin_q();
+  EXPECT_EQ(orthonormal_complement(u, 4).cols(), 0u);
+}
+
+// ---------------------------------------------------------------- SVD
+
+TEST(Svd, ReconstructsTallMatrix) {
+  Rng rng(11);
+  const Matrix a = random_matrix(9, 4, rng);
+  const Svd s = svd(a);
+  Matrix usv(9, 4);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) acc += s.u(i, k) * s.sigma[k] * s.v(j, k);
+      usv(i, j) = acc;
+    }
+  EXPECT_LT(max_abs_diff(usv, a), 1e-10);
+}
+
+TEST(Svd, ReconstructsWideMatrix) {
+  Rng rng(12);
+  const Matrix a = random_matrix(3, 8, rng);
+  const Svd s = svd(a);
+  ASSERT_EQ(s.u.cols(), 3u);
+  ASSERT_EQ(s.v.rows(), 8u);
+  Matrix usv(3, 8);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) acc += s.u(i, k) * s.sigma[k] * s.v(j, k);
+      usv(i, j) = acc;
+    }
+  EXPECT_LT(max_abs_diff(usv, a), 1e-10);
+}
+
+TEST(Svd, SingularValuesSortedAndOrthonormalFactors) {
+  Rng rng(13);
+  const Matrix a = random_matrix(10, 6, rng);
+  const Svd s = svd(a);
+  for (std::size_t k = 0; k + 1 < s.sigma.size(); ++k) EXPECT_GE(s.sigma[k], s.sigma[k + 1]);
+  EXPECT_LT(max_abs_diff(matmul_tn(s.u, s.u), Matrix::identity(6)), 1e-10);
+  EXPECT_LT(max_abs_diff(matmul_tn(s.v, s.v), Matrix::identity(6)), 1e-10);
+}
+
+TEST(Svd, MatchesEigenvaluesOfGram) {
+  Rng rng(14);
+  const Matrix a = random_matrix(7, 5, rng);
+  const Svd s = svd(a);
+  const EigSym e = eig_sym(matmul_tn(a, a));
+  // Largest eigenvalue of A'A equals sigma_max^2.
+  EXPECT_NEAR(e.values[4], s.sigma[0] * s.sigma[0], 1e-8);
+  EXPECT_NEAR(e.values[0], s.sigma[4] * s.sigma[4], 1e-8);
+}
+
+TEST(Svd, DetectsExactRankDeficiency) {
+  // Rank-2 matrix: third column = sum of first two.
+  Rng rng(15);
+  Matrix a = random_matrix(6, 3, rng);
+  for (std::size_t i = 0; i < 6; ++i) a(i, 2) = a(i, 0) + a(i, 1);
+  const Svd s = svd(a);
+  EXPECT_EQ(numerical_rank(s.sigma, 1e-10), 2u);
+}
+
+TEST(Svd, NumericalRankOfZeroMatrix) {
+  const Svd s = svd(Matrix(4, 3));
+  EXPECT_EQ(numerical_rank(s.sigma, 1e-2), 0u);
+}
+
+// ---------------------------------------------------------------- eig
+
+TEST(EigSym, DiagonalizesAndIsOrthogonal) {
+  Rng rng(16);
+  const Matrix a = random_spd(9, rng);
+  const EigSym e = eig_sym(a);
+  const Matrix v = e.vectors;
+  EXPECT_LT(max_abs_diff(matmul_tn(v, v), Matrix::identity(9)), 1e-10);
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < 9; ++k) {
+    const Vector vk = v.col(k);
+    const Vector av = matvec(a, vk);
+    EXPECT_LT(norm2(av - e.values[k] * vk), 1e-8 * std::abs(e.values[k]));
+  }
+  for (std::size_t k = 0; k + 1 < 9; ++k) EXPECT_LE(e.values[k], e.values[k + 1]);
+}
+
+// ---------------------------------------------------------------- LU
+
+TEST(LU, SolvesGeneralSystem) {
+  Rng rng(17);
+  const Matrix a = random_matrix(10, 10, rng);
+  const Vector b = random_matrix(10, 1, rng).col(0);
+  const LU lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector x = lu.solve(b);
+  EXPECT_LT(norm2(matvec(a, x) - b), 1e-9 * norm2(b));
+}
+
+TEST(LU, DetectsSingularity) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;  // row 2 all zero
+  const LU lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.det(), 0.0);
+}
+
+TEST(LU, DeterminantOfKnownMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_NEAR(LU(a).det(), 10.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- iterative
+
+TEST(Pcg, SolvesSpdSystemUnpreconditioned) {
+  Rng rng(18);
+  const Matrix a = random_spd(30, rng);
+  const Vector b = random_matrix(30, 1, rng).col(0);
+  IterStats st;
+  const Vector x = pcg([&](const Vector& v) { return matvec(a, v); }, b,
+                       {.rel_tol = 1e-10, .max_iterations = 200}, &st);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(norm2(matvec(a, x) - b), 1e-8 * norm2(b));
+}
+
+TEST(Pcg, PerfectPreconditionerConvergesInOneIteration) {
+  Rng rng(19);
+  const Matrix a = random_spd(20, rng);
+  const Cholesky chol(a);
+  const Vector b = random_matrix(20, 1, rng).col(0);
+  IterStats st;
+  pcg([&](const Vector& v) { return matvec(a, v); }, b, {.rel_tol = 1e-10, .max_iterations = 50},
+      &st, [&](const Vector& r) { return chol.solve(r); });
+  EXPECT_TRUE(st.converged);
+  EXPECT_LE(st.iterations, 2u);
+}
+
+TEST(Pcg, ZeroRhsReturnsZero) {
+  IterStats st;
+  const Vector x =
+      pcg([](const Vector& v) { return v; }, Vector(5), {.rel_tol = 1e-10}, &st);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.iterations, 0u);
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  Rng rng(20);
+  Matrix a = random_matrix(25, 25, rng);
+  for (std::size_t i = 0; i < 25; ++i) a(i, i) += 10.0;  // make well-conditioned
+  const Vector b = random_matrix(25, 1, rng).col(0);
+  IterStats st;
+  const Vector x = gmres([&](const Vector& v) { return matvec(a, v); }, b, 25,
+                         {.rel_tol = 1e-10, .max_iterations = 100}, &st);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(norm2(matvec(a, x) - b), 1e-7 * norm2(b));
+}
+
+TEST(Gmres, RestartedConvergesToo) {
+  Rng rng(21);
+  Matrix a = random_matrix(30, 30, rng);
+  for (std::size_t i = 0; i < 30; ++i) a(i, i) += 15.0;
+  const Vector b = random_matrix(30, 1, rng).col(0);
+  IterStats st;
+  const Vector x = gmres([&](const Vector& v) { return matvec(a, v); }, b, 8,
+                         {.rel_tol = 1e-9, .max_iterations = 400}, &st);
+  EXPECT_LT(norm2(matvec(a, x) - b), 1e-6 * norm2(b));
+}
+
+// ------------------------------------------------- parameterized properties
+
+class FactorizationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorizationSweep, SvdReconstructionAcrossShapes) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t m = 2 + rng.below(12);
+  const std::size_t n = 2 + rng.below(12);
+  const Matrix a = random_matrix(m, n, rng);
+  const Svd s = svd(a);
+  const std::size_t k = std::min(m, n);
+  double err = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < k; ++t) acc += s.u(i, t) * s.sigma[t] * s.v(j, t);
+      err = std::max(err, std::abs(acc - a(i, j)));
+    }
+  EXPECT_LT(err, 1e-9) << "m=" << m << " n=" << n;
+}
+
+TEST_P(FactorizationSweep, CholeskyQrLuAgreeOnSpdSolve) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + seed));
+  const std::size_t n = 2 + rng.below(15);
+  const Matrix a = random_spd(n, rng);
+  const Vector b = random_matrix(n, 1, rng).col(0);
+  const Vector x1 = Cholesky(a).solve(b);
+  const Vector x2 = LU(a).solve(b);
+  const Vector x3 = QR(a).solve(b);
+  EXPECT_LT(norm2(x1 - x2), 1e-8 * (1.0 + norm2(x1)));
+  EXPECT_LT(norm2(x1 - x3), 1e-8 * (1.0 + norm2(x1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FactorizationSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace subspar
+
+namespace subspar {
+namespace {
+
+TEST(Svd, OneByOneMatrix) {
+  Matrix a(1, 1);
+  a(0, 0) = -3.0;
+  const Svd s = svd(a);
+  EXPECT_DOUBLE_EQ(s.sigma[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.u(0, 0) * s.sigma[0] * s.v(0, 0), -3.0);
+}
+
+TEST(Svd, RejectsEmptyMatrix) { EXPECT_THROW(svd(Matrix(0, 0)), std::invalid_argument); }
+
+TEST(Gmres, MatchesCholeskyOnSpdSystem) {
+  Rng rng(40);
+  const Matrix a = random_spd(20, rng);
+  const Vector b = random_matrix(20, 1, rng).col(0);
+  IterStats st;
+  const Vector x = gmres([&](const Vector& v) { return matvec(a, v); }, b, 20,
+                         {.rel_tol = 1e-12, .max_iterations = 100}, &st);
+  EXPECT_LT(norm2(x - Cholesky(a).solve(b)), 1e-8 * norm2(b));
+}
+
+TEST(Cholesky, LogDetMatchesLuDeterminant) {
+  Rng rng(41);
+  const Matrix a = random_spd(8, rng);
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(LU(a).det()), 1e-9);
+}
+
+TEST(Matrix, TransposeIsInvolution) {
+  Rng rng(42);
+  const Matrix a = random_matrix(5, 9, rng);
+  EXPECT_LT((a.transposed().transposed() - a).max_abs(), 0.0 + 1e-300);
+}
+
+TEST(Matrix, ScalarMultiplyAndSubtract) {
+  Matrix a(2, 2, 1.0);
+  const Matrix b = 3.0 * a - a;
+  EXPECT_DOUBLE_EQ(b(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(b.frobenius_norm(), 4.0);
+}
+
+TEST(Pcg, DetectsNonSpdOperator) {
+  // An indefinite operator must trip the SPD invariant, not loop silently.
+  Matrix a = Matrix::identity(4);
+  a(2, 2) = -1.0;
+  Vector b(4, 1.0);
+  EXPECT_THROW(pcg([&](const Vector& v) { return matvec(a, v); }, b,
+                   {.rel_tol = 1e-10, .max_iterations = 50}, nullptr),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace subspar

@@ -1,0 +1,228 @@
+// Tests for CSR sparse matrices and the IC(0) preconditioner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/ic0.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+namespace {
+
+// 1-D resistor-chain Laplacian with both ends grounded through g: SPD, the
+// simplest relative of the substrate FD matrix.
+SparseMatrix chain_laplacian(std::size_t n, double g_end) {
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    if (i > 0) {
+      b.add(i, i - 1, -1.0);
+      d += 1.0;
+    }
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      d += 1.0;
+    }
+    if (i == 0 || i + 1 == n) d += g_end;
+    b.add(i, i, d);
+  }
+  return SparseMatrix(b);
+}
+
+TEST(Sparse, BuildSumsDuplicatesAndSorts) {
+  SparseBuilder b(2, 3);
+  b.add(0, 2, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, 3.0);  // duplicate, sums to 4
+  b.add(1, 1, 5.0);
+  const SparseMatrix a(b);
+  EXPECT_EQ(a.nnz(), 3u);
+  const Matrix d = a.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+}
+
+TEST(Sparse, DropTolRemovesCancelledEntries) {
+  SparseBuilder b(1, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);  // cancels to zero
+  b.add(0, 1, 2.0);
+  const SparseMatrix a(b);
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(Sparse, ApplyMatchesDense) {
+  Rng rng(1);
+  SparseBuilder b(6, 4);
+  for (int t = 0; t < 10; ++t)
+    b.add(rng.below(6), rng.below(4), rng.normal());
+  const SparseMatrix a(b);
+  const Matrix d = a.to_dense();
+  Vector x(4);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_LT(norm2(a.apply(x) - matvec(d, x)), 1e-14);
+  Vector y(6);
+  for (auto& v : y) v = rng.normal();
+  EXPECT_LT(norm2(a.apply_t(y) - matvec_t(d, y)), 1e-14);
+}
+
+TEST(Sparse, TransposeIsInvolution) {
+  Rng rng(2);
+  SparseBuilder b(5, 7);
+  for (int t = 0; t < 12; ++t) b.add(rng.below(5), rng.below(7), rng.normal());
+  const SparseMatrix a(b);
+  const SparseMatrix att = a.transposed().transposed();
+  EXPECT_LT((a.to_dense() - att.to_dense()).max_abs(), 1e-15);
+}
+
+TEST(Sparse, FromDenseRespectsThreshold) {
+  Matrix d(2, 2);
+  d(0, 0) = 1.0;
+  d(0, 1) = 1e-8;
+  d(1, 1) = -0.5;
+  const SparseMatrix a = SparseMatrix::from_dense(d, 1e-6);
+  EXPECT_EQ(a.nnz(), 2u);
+}
+
+TEST(Sparse, SparsityFactorMatchesPaperDefinition) {
+  Matrix d(4, 4);
+  d(0, 0) = d(1, 1) = 1.0;  // 2 nonzeros of 16 entries -> sparsity 8
+  const SparseMatrix a = SparseMatrix::from_dense(d);
+  EXPECT_DOUBLE_EQ(a.sparsity_factor(), 8.0);
+}
+
+TEST(Sparse, CoordinatesListAllNonzeros) {
+  SparseBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(2, 0, 1.0);
+  const SparseMatrix a(b);
+  const auto coords = a.coordinates();
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(coords[1], (std::pair<std::size_t, std::size_t>{2, 0}));
+}
+
+TEST(Ic0, ExactForTridiagonalSpd) {
+  // IC(0) of a tridiagonal matrix is the exact Cholesky factor (no fill-in
+  // exists), so the preconditioner solve must be a direct solve.
+  const SparseMatrix a = chain_laplacian(20, 1.0);
+  const SparseMatrix la = ic0(a);
+  Rng rng(3);
+  Vector b(20);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = ic0_solve(la, b);
+  EXPECT_LT(norm2(a.apply(x) - b), 1e-10 * norm2(b));
+}
+
+TEST(Ic0, FactorHasNoFillIn) {
+  const SparseMatrix a = chain_laplacian(10, 0.5);
+  const SparseMatrix la = ic0(a);
+  // Lower triangle of A has 10 diagonal + 9 subdiagonal entries.
+  EXPECT_EQ(la.nnz(), 19u);
+}
+
+TEST(Ic0, PreconditionsPcgOn2dGrid) {
+  // 2-D 5-point Laplacian, anchored: compare PCG iteration counts with and
+  // without IC(0). The preconditioner must help.
+  const std::size_t nx = 16, ny = 16, n = nx * ny;
+  SparseBuilder bld(n, n);
+  auto id = [&](std::size_t x, std::size_t y) { return x + nx * y; };
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t x = 0; x < nx; ++x) {
+      double d = 1e-3;  // weak anchor keeps it SPD
+      auto nb = [&](std::size_t xx, std::size_t yy) {
+        bld.add(id(x, y), id(xx, yy), -1.0);
+        d += 1.0;
+      };
+      if (x > 0) nb(x - 1, y);
+      if (x + 1 < nx) nb(x + 1, y);
+      if (y > 0) nb(x, y - 1);
+      if (y + 1 < ny) nb(x, y + 1);
+      bld.add(id(x, y), id(x, y), d);
+    }
+  const SparseMatrix a(bld);
+  const SparseMatrix la = ic0(a);
+  Rng rng(4);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  const IterOptions opt{.rel_tol = 1e-8, .max_iterations = 2000};
+  IterStats plain, prec;
+  pcg([&](const Vector& v) { return a.apply(v); }, b, opt, &plain);
+  pcg([&](const Vector& v) { return a.apply(v); }, b, opt, &prec,
+      [&](const Vector& r) { return ic0_solve(la, r); });
+  EXPECT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+}
+
+class ChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSweep, Ic0SolveMatchesDenseCholesky) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const SparseMatrix a = chain_laplacian(n, 2.0);
+  const SparseMatrix la = ic0(a);
+  const Cholesky chol(a.to_dense());
+  Rng rng(5 + n);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  EXPECT_LT(norm2(ic0_solve(la, b) - chol.solve(b)), 1e-9 * norm2(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainSweep, ::testing::Values(2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace subspar
+
+namespace subspar {
+namespace {
+
+class RandomSparseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSparseSweep, ApplyAndTransposeApplyMatchDense) {
+  Rng rng(200 + GetParam());
+  const std::size_t rows = 2 + rng.below(20), cols = 2 + rng.below(20);
+  SparseBuilder bld(rows, cols);
+  const int entries = 1 + static_cast<int>(rng.below(3 * rows));
+  for (int t = 0; t < entries; ++t) bld.add(rng.below(rows), rng.below(cols), rng.normal());
+  const SparseMatrix a(bld);
+  const Matrix d = a.to_dense();
+  Vector x(cols), y(rows);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  ASSERT_LT(norm2(a.apply(x) - matvec(d, x)), 1e-12);
+  ASSERT_LT(norm2(a.apply_t(y) - matvec_t(d, y)), 1e-12);
+  // <Ax, y> == <x, A'y>.
+  ASSERT_NEAR(dot(a.apply(x), y), dot(x, a.apply_t(y)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomSparseSweep, ::testing::Range(0, 8));
+
+TEST(Sparse, EmptyMatrixBehaves) {
+  const SparseMatrix a(SparseBuilder(3, 3));
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(a.sparsity_factor(), 0.0);
+  EXPECT_DOUBLE_EQ(norm2(a.apply(Vector(3, 1.0))), 0.0);
+}
+
+TEST(Sparse, RowIterationMatchesCoordinates) {
+  SparseBuilder b(4, 4);
+  b.add(1, 2, 5.0);
+  b.add(3, 0, -1.0);
+  b.add(1, 0, 2.0);
+  const SparseMatrix a(b);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      ++count;
+      if (i == 1 && a.col_index(k) == 2) {
+        EXPECT_DOUBLE_EQ(a.value(k), 5.0);
+      }
+    }
+  EXPECT_EQ(count, a.coordinates().size());
+}
+
+}  // namespace
+}  // namespace subspar

@@ -1,0 +1,304 @@
+// Tests for the transform substrate: FFT vs naive DFT, fast DCT vs its
+// O(N^2) reference, orthogonality/roundtrip properties, 2-D separability,
+// and the fast Poisson solver against direct dense solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "transform/dct.hpp"
+#include "transform/fft.hpp"
+#include "transform/poisson.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  Rng rng(1);
+  std::vector<Complex> x(32);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  auto ref = dft_naive(x);
+  auto fast = x;
+  fft(fast);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(fast[k].real(), ref[k].real(), 1e-10);
+    EXPECT_NEAR(fast[k].imag(), ref[k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  Rng rng(2);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  auto y = x;
+  fft(y);
+  ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(3);
+  std::vector<Complex> x(128);
+  double ex = 0.0;
+  for (auto& v : x) {
+    v = Complex(rng.normal(), 0.0);
+    ex += std::norm(v);
+  }
+  auto y = x;
+  fft(y);
+  double ey = 0.0;
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * 128.0, 1e-8 * ex * 128.0);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> x(16, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-13);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-13);
+  }
+}
+
+TEST(Dct, FastMatchesNaivePowerOfTwo) {
+  const auto x = random_signal(64, 4);
+  const auto fast = dct2(x);
+  const auto ref = dct2_naive(x);
+  for (std::size_t k = 0; k < x.size(); ++k) EXPECT_NEAR(fast[k], ref[k], 1e-10);
+}
+
+TEST(Dct, Dct3FastMatchesNaive) {
+  const auto y = random_signal(32, 5);
+  const auto fast = dct3(y);
+  const auto ref = dct3_naive(y);
+  for (std::size_t k = 0; k < y.size(); ++k) EXPECT_NEAR(fast[k], ref[k], 1e-10);
+}
+
+TEST(Dct, RoundTripIdentity) {
+  const auto x = random_signal(128, 6);
+  const auto y = dct3(dct2(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-11);
+}
+
+TEST(Dct, OrthonormalParseval) {
+  const auto x = random_signal(64, 7);
+  const auto y = dct2(x);
+  double ex = 0.0, ey = 0.0;
+  for (double v : x) ex += v * v;
+  for (double v : y) ey += v * v;
+  EXPECT_NEAR(ex, ey, 1e-10 * ex);
+}
+
+TEST(Dct, ConstantMapsToDcModeOnly) {
+  std::vector<double> x(16, 3.0);
+  const auto y = dct2(x);
+  EXPECT_NEAR(y[0], 3.0 * std::sqrt(16.0), 1e-12);
+  for (std::size_t k = 1; k < y.size(); ++k) EXPECT_NEAR(y[k], 0.0, 1e-12);
+}
+
+TEST(Dct, NonPowerOfTwoFallsBackToNaive) {
+  const auto x = random_signal(12, 8);
+  const auto y = dct3(dct2(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-11);
+}
+
+TEST(Dct, LinearityProperty) {
+  const auto x = random_signal(32, 9);
+  const auto y = random_signal(32, 10);
+  std::vector<double> z(32);
+  for (std::size_t i = 0; i < 32; ++i) z[i] = 2.0 * x[i] - 3.0 * y[i];
+  const auto tx = dct2(x), ty = dct2(y), tz = dct2(z);
+  for (std::size_t k = 0; k < 32; ++k) EXPECT_NEAR(tz[k], 2.0 * tx[k] - 3.0 * ty[k], 1e-11);
+}
+
+TEST(Dct2d, RoundTripIdentity) {
+  auto a = random_signal(16 * 8, 11);
+  const auto orig = a;
+  dct2_2d(a, 16, 8);
+  dct3_2d(a, 16, 8);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], orig[i], 1e-11);
+}
+
+TEST(Dct2d, SeparableModeIsEigenvector) {
+  // cos(pi*2(i+1/2)/8)*cos(pi*3(j+1/2)/8) must transform to a single
+  // coefficient at (2,3).
+  const std::size_t n = 8;
+  std::vector<double> a(n * n);
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = std::cos(kPi * 2.0 * (i + 0.5) / n) * std::cos(kPi * 3.0 * (j + 0.5) / n);
+  dct2_2d(a, n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == 2 && j == 3) {
+        EXPECT_NEAR(a[i * n + j], n / 2.0, 1e-10);  // (sqrt(2/n)*n/2)^2 scaling
+      } else {
+        EXPECT_NEAR(a[i * n + j], 0.0, 1e-10);
+      }
+    }
+}
+
+class DctSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctSizeSweep, RoundTripAcrossSizes) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const auto x = random_signal(n, 20 + n);
+  const auto y = dct3(dct2(x));
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(y[i], x[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctSizeSweep, ::testing::Values(1, 2, 3, 4, 7, 8, 16, 31, 64, 256));
+
+// ------------------------------------------------------------ fast Poisson
+
+PoissonGrid small_grid(double top_g, double bottom_g) {
+  PoissonGrid g;
+  g.nx = 4;
+  g.ny = 8;
+  g.nz = 5;
+  g.lateral_g = {2.0, 2.0, 1.0, 1.0, 1.0};       // two-layer profile
+  g.vertical_g = {2.0, std::sqrt(2.0), 1.0, 1.0};  // boundary resistor in series
+  g.top_g = top_g;
+  g.bottom_g = bottom_g;
+  return g;
+}
+
+TEST(FastPoisson, SolveInvertsApply) {
+  const FastPoisson3D fp(small_grid(0.7, 0.0));
+  Rng rng(12);
+  Vector b(fp.grid().size());
+  for (auto& v : b) v = rng.normal();
+  const Vector x = fp.solve(b);
+  EXPECT_LT(norm2(fp.apply(x) - b), 1e-10 * norm2(b));
+}
+
+TEST(FastPoisson, MatchesDenseCholesky) {
+  const FastPoisson3D fp(small_grid(0.3, 1.5));
+  const std::size_t n = fp.grid().size();
+  // Build the dense operator column by column via apply().
+  Matrix a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector e(n);
+    e[j] = 1.0;
+    a.set_col(j, fp.apply(e));
+  }
+  const Cholesky chol(a);
+  Rng rng(13);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  EXPECT_LT(norm2(fp.solve(b) - chol.solve(b)), 1e-9 * norm2(b));
+}
+
+TEST(FastPoisson, FloatingGridHandlesConstantMode) {
+  const FastPoisson3D fp(small_grid(0.0, 0.0));  // no anchors: singular mode
+  Rng rng(14);
+  Vector b(fp.grid().size());
+  for (auto& v : b) v = rng.normal();
+  // Remove the mean so b is in the range of the singular operator.
+  double mean = 0.0;
+  for (double v : b) mean += v;
+  mean /= static_cast<double>(b.size());
+  for (auto& v : b) v -= mean;
+  const Vector x = fp.solve(b);
+  const Vector r = fp.apply(x) - b;
+  EXPECT_LT(norm2(r), 1e-6 * norm2(b));
+}
+
+TEST(FastPoisson, ApplyIsSymmetric) {
+  const FastPoisson3D fp(small_grid(0.4, 0.2));
+  Rng rng(15);
+  Vector x(fp.grid().size()), y(fp.grid().size());
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  EXPECT_NEAR(dot(fp.apply(x), y), dot(x, fp.apply(y)), 1e-10);
+}
+
+TEST(FastPoisson, RejectsNonPowerOfTwoLateralDims) {
+  PoissonGrid g = small_grid(0.1, 0.0);
+  g.nx = 6;
+  EXPECT_THROW(FastPoisson3D{g}, std::invalid_argument);
+}
+
+class PoissonTopG : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonTopG, SolveExactAcrossTopCouplings) {
+  PoissonGrid g = small_grid(GetParam(), 0.0);
+  const FastPoisson3D fp(g);
+  Rng rng(16);
+  Vector b(fp.grid().size());
+  for (auto& v : b) v = rng.normal();
+  const Vector x = fp.solve(b);
+  EXPECT_LT(norm2(fp.apply(x) - b), 1e-9 * norm2(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(TopCouplings, PoissonTopG, ::testing::Values(0.05, 0.25, 1.0, 4.0));
+
+}  // namespace
+}  // namespace subspar
+
+namespace subspar {
+namespace {
+
+TEST(Dct2d, RectangularGridRoundTrip) {
+  auto a = random_signal(32 * 8, 30);
+  const auto orig = a;
+  dct2_2d(a, 8, 32);  // wide
+  dct3_2d(a, 8, 32);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], orig[i], 1e-11);
+}
+
+TEST(Dct, DeltaSpreadsToAllModes) {
+  std::vector<double> x(16, 0.0);
+  x[0] = 1.0;
+  const auto y = dct2(x);
+  for (std::size_t k = 0; k < y.size(); ++k) ASSERT_NE(y[k], 0.0);
+}
+
+TEST(FastPoisson, SingleLayerNzOne) {
+  PoissonGrid g;
+  g.nx = 8;
+  g.ny = 8;
+  g.nz = 1;
+  g.lateral_g = {1.5};
+  g.top_g = 0.7;
+  const FastPoisson3D fp(g);
+  Rng rng(31);
+  Vector b(fp.grid().size());
+  for (auto& v : b) v = rng.normal();
+  const Vector x = fp.solve(b);
+  EXPECT_LT(norm2(fp.apply(x) - b), 1e-10 * norm2(b));
+}
+
+TEST(Fft, LinearityProperty) {
+  Rng rng(32);
+  std::vector<Complex> x(64), y(64), z(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = Complex(rng.normal(), rng.normal());
+    y[i] = Complex(rng.normal(), rng.normal());
+    z[i] = 2.0 * x[i] - 0.5 * y[i];
+  }
+  fft(x);
+  fft(y);
+  fft(z);
+  for (std::size_t k = 0; k < 64; ++k)
+    ASSERT_LT(std::abs(z[k] - (2.0 * x[k] - 0.5 * y[k])), 1e-10);
+}
+
+}  // namespace
+}  // namespace subspar

@@ -1,0 +1,167 @@
+// Tests for the utility substrate: RNG determinism and statistics, table
+// formatting, and the plotting helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/plot.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace subspar {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng r(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.normal();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowCoversRangeWithoutBias) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowRejectsZero) { EXPECT_THROW(Rng(1).below(0), std::invalid_argument); }
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(SUBSPAR_REQUIRE(false), std::invalid_argument);
+  EXPECT_NO_THROW(SUBSPAR_REQUIRE(true));
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+  EXPECT_THROW(SUBSPAR_ENSURE(false), std::logic_error);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  // Header + underline + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::num(12345.678, 3), "1.23e+04");
+}
+
+TEST(Plot, AsciiGridRendersGlyphs) {
+  const auto s = ascii_grid(2, 3, [](std::size_t i, std::size_t j) {
+    return (i == 0 && j == 0) ? 1 : 0;
+  });
+  EXPECT_EQ(s, "#..\n...\n");
+}
+
+TEST(Plot, AsciiSpyBucketsEntries) {
+  std::vector<std::pair<std::size_t, std::size_t>> e = {{0, 0}, {99, 99}};
+  const auto s = ascii_spy(100, e, 10);
+  EXPECT_NE(s.find("nnz = 2"), std::string::npos);
+  // Sparse bucket -> lightest glyph; empty bucket -> '.'.
+  EXPECT_EQ(s.front(), ':');
+  EXPECT_EQ(s[1], '.');
+}
+
+TEST(Plot, AsciiSpyShadesByDensity) {
+  // A fully dense matrix must render as all '#'.
+  std::vector<std::pair<std::size_t, std::size_t>> e;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) e.emplace_back(i, j);
+  const auto s = ascii_spy(8, e, 4);
+  EXPECT_EQ(s.find('.'), std::string::npos);
+  EXPECT_EQ(s.find(':'), std::string::npos);
+}
+
+TEST(Plot, PgmRoundTripHeader) {
+  const std::string path = "/tmp/subspar_test.pgm";
+  write_pgm(path, 2, 2, {0, 64, 128, 255});
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(std::string(magic), "P5");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace subspar
