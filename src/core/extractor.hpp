@@ -20,7 +20,11 @@ enum class SparsifyMethod {
   kLowRank,  ///< Chapter 4: operator-adapted row-basis construction
 };
 
+/// Knobs for `extract_sparsified`. Defaults give the unthresholded low-rank
+/// model of Table 4.1; set `threshold_sparsity_multiple` (the paper's
+/// Tables 4.2/3.1 use 6) for the thresholded trade-off.
 struct ExtractorOptions {
+  /// Which sparsification algorithm builds the change of basis Q.
   SparsifyMethod method = SparsifyMethod::kLowRank;
   /// Wavelet moment order (Chapter 3; the paper uses 2).
   int moment_order = 2;
@@ -31,18 +35,26 @@ struct ExtractorOptions {
   double threshold_sparsity_multiple = 0.0;
 };
 
-/// A sparsified substrate coupling model.
+/// A sparsified substrate coupling model: the orthogonal change of basis Q
+/// and the sparse transformed conductance G_w, with the build-cost metadata
+/// the paper's tables report.
 class SparsifiedModel {
  public:
+  /// Takes ownership of the factors; `solves` and `seconds` record what the
+  /// extraction cost (black-box substrate solves and wall-clock time).
   SparsifiedModel(SparseMatrix q, SparseMatrix gw, long solves, double seconds);
 
   /// Contact currents from contact voltages through Q G_w Q' —
   /// O(nnz(Q) + nnz(G_w)) instead of the dense O(n^2).
   Vector apply(const Vector& contact_voltages) const;
 
+  /// The orthogonal change-of-basis factor Q.
   const SparseMatrix& q() const { return q_; }
+  /// The sparse transformed conductance G_w (thresholded if requested).
   const SparseMatrix& gw() const { return gw_; }
+  /// Black-box substrate solves consumed by the extraction.
   long solves_used() const { return solves_; }
+  /// Wall-clock seconds spent building the model.
   double build_seconds() const { return seconds_; }
 
   /// Paper metrics.
@@ -50,6 +62,7 @@ class SparsifiedModel {
   double q_sparsity_factor() const { return q_.sparsity_factor(); }
   double solve_reduction_factor() const;
 
+  /// One-line human-readable digest (sparsity factors, solves, seconds).
   std::string summary() const;
 
  private:

@@ -39,15 +39,22 @@ struct LowRankOptions {
   /// slow-decaying leftovers lean, which controls the density of the
   /// root-level rows of G_w.
   double u_sigma_rel_tol = 1e-2;
+  /// Seed for the random sample vectors of §4.3.3 (runs are deterministic).
   std::uint64_t seed = 12345;
 };
 
+/// The multilevel row-basis representation of G (phase 1, §4.3). Building it
+/// runs the whole coarse-to-fine construction against the black-box solver.
 class RowBasisRep {
  public:
+  /// Builds the representation; `tree` must outlive this object.
   RowBasisRep(const SubstrateSolver& solver, const QuadTree& tree, LowRankOptions options = {});
 
+  /// The contact quadtree the representation was built over.
   const QuadTree& tree() const { return *tree_; }
+  /// The options the representation was built with.
   const LowRankOptions& options() const { return options_; }
+  /// Black-box solves consumed by the construction.
   long solves() const { return solves_; }
 
   /// Approximate G v through the multilevel representation (§4.3.2).
@@ -58,6 +65,7 @@ class RowBasisRep {
   /// Approximate response block (G_{q, s} V_s)^(r), rows ordered like
   /// contacts(q); q must be in P_s.
   const Matrix& response(const SquareId& s, const SquareId& q) const;
+  /// True when a response block (G_{q, s} V_s)^(r) was recorded for (s, q).
   bool has_response(const SquareId& s, const SquareId& q) const;
   /// Finest-level orthogonal complement W_s of V_s.
   const Matrix& finest_w(const SquareId& s) const;

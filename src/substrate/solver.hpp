@@ -23,13 +23,19 @@ class SubstrateSolver {
   /// Applies G: contact voltages in, contact currents out.
   Vector solve(const Vector& contact_voltages) const;
 
+  /// Number of contact panels, i.e. the dimension of G.
   virtual std::size_t n_contacts() const = 0;
+  /// Short solver label used in bench/table output.
   virtual std::string name() const = 0;
 
+  /// Black-box solves performed since construction / the last reset.
   long solve_count() const { return solve_count_; }
+  /// Zeroes the solve counter (benches call this between phases).
   void reset_solve_count() const { solve_count_ = 0; }
 
  protected:
+  /// Implementation hook: one application of G (solve() wraps this and
+  /// maintains the solve counter).
   virtual Vector do_solve(const Vector& contact_voltages) const = 0;
 
  private:

@@ -12,8 +12,11 @@
 
 namespace subspar {
 
+/// One column of Q in sparse form (alias of the shared TransformBasis type).
 using WaveletColumn = BasisColumn;
 
+/// The Chapter-3 change of basis: construction is purely geometric (moment
+/// matrices only), so it never touches the substrate solver.
 class WaveletBasis : public TransformBasis {
  public:
   /// p: vanishing-moment order (the paper uses p = 2, i.e. 6 constraints).
@@ -21,6 +24,7 @@ class WaveletBasis : public TransformBasis {
   /// zero when sizing V_s.
   explicit WaveletBasis(const QuadTree& tree, int p = 2, double rank_rel_tol = 1e-10);
 
+  /// The vanishing-moment order the basis was built with.
   int p() const { return p_; }
 
  private:
