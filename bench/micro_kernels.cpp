@@ -43,6 +43,24 @@ void BM_Dct2d(benchmark::State& state) {
 }
 BENCHMARK(BM_Dct2d)->Arg(64)->Arg(128);
 
+// Batched 2-D DCT: `range` independent 64x64 grids per call, threaded over
+// the SUBSPAR_THREADS pool.
+void BM_Dct2dMany(benchmark::State& state) {
+  const std::size_t n = 64;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(batch * n * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto _ : state) {
+    auto b = a;
+    dct2_2d_many(b, n, n, batch);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(batch * n * n));
+}
+BENCHMARK(BM_Dct2dMany)->Arg(4)->Arg(16);
+
 void BM_JacobiSvd(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   Rng rng(3);
@@ -90,6 +108,24 @@ void BM_SurfaceSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SurfaceSolve);
+
+// k right-hand sides through one solve_many call (blocked PCG + batched
+// DCT applies) on the BM_SurfaceSolve layout. Compare k * BM_SurfaceSolve
+// wall-clock against one BM_BatchedSolve/k iteration.
+void BM_BatchedSolve(benchmark::State& state) {
+  static SolveFixtureState fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix v(fx.layout.n_contacts(), k);
+  for (std::size_t i = 0; i < v.rows(); ++i)
+    for (std::size_t j = 0; j < v.cols(); ++j) v(i, j) = rng.normal();
+  for (auto _ : state) {
+    const Matrix i = fx.solver.solve_many(v);
+    benchmark::DoNotOptimize(i(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
+}
+BENCHMARK(BM_BatchedSolve)->Arg(4)->Arg(16);
 
 void BM_RowBasisApply(benchmark::State& state) {
   static SolveFixtureState fx;

@@ -4,6 +4,7 @@
 
 #include "lowrank/extract.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "wavelet/basis.hpp"
 #include "wavelet/extract.hpp"
@@ -18,6 +19,14 @@ SparsifiedModel::SparsifiedModel(SparseMatrix q, SparseMatrix gw, long solves, d
 
 Vector SparsifiedModel::apply(const Vector& contact_voltages) const {
   return q_.apply(gw_.apply(q_.apply_t(contact_voltages)));
+}
+
+Matrix SparsifiedModel::apply_many(const Matrix& contact_voltages) const {
+  SUBSPAR_REQUIRE(contact_voltages.rows() == q_.rows());
+  Matrix out(q_.rows(), contact_voltages.cols());
+  parallel_for(contact_voltages.cols(),
+               [&](std::size_t j) { out.set_col(j, apply(contact_voltages.col(j))); });
+  return out;
 }
 
 double SparsifiedModel::solve_reduction_factor() const {

@@ -48,6 +48,11 @@ class SparsifiedModel {
   /// O(nnz(Q) + nnz(G_w)) instead of the dense O(n^2).
   Vector apply(const Vector& contact_voltages) const;
 
+  /// Batched application to the columns of an n x k voltage matrix, fanned
+  /// out over the SUBSPAR_THREADS pool (columns are independent; results
+  /// are bit-identical for any thread count).
+  Matrix apply_many(const Matrix& contact_voltages) const;
+
   /// The orthogonal change-of-basis factor Q.
   const SparseMatrix& q() const { return q_; }
   /// The sparse transformed conductance G_w (thresholded if requested).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
 
@@ -26,8 +27,14 @@ ErrorStats compare_columns(const SparseMatrix& q, const SparseMatrix& gw,
   const double gmax = g_exact_cols.max_abs();
   const double floor = kEntryFloorRel * gmax;
   const double significant = kSignificantRel * gmax;
+  // Reconstructed columns are independent: fan out over the pool, then
+  // reduce in fixed column order (stats are max/counts, so the result is
+  // schedule-independent anyway).
+  std::vector<Vector> approx_cols(col_ids.size());
+  parallel_for(col_ids.size(),
+               [&](std::size_t c) { approx_cols[c] = reconstruct_column(q, gw, col_ids[c]); });
   for (std::size_t c = 0; c < col_ids.size(); ++c) {
-    const Vector approx = reconstruct_column(q, gw, col_ids[c]);
+    const Vector& approx = approx_cols[c];
     for (std::size_t i = 0; i < approx.size(); ++i) {
       const double exact = g_exact_cols(i, c);
       if (std::abs(exact) <= floor) continue;  // below solver resolution

@@ -3,10 +3,42 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/cholesky.hpp"
+#include "linalg/eig_sym.hpp"
 #include "linalg/matrix.hpp"
 #include "util/check.hpp"
 
 namespace subspar {
+namespace {
+
+// Solve the small symmetric k x k system T Y = S of the block recurrences:
+// Cholesky on the SPD fast path, spectral pseudo-inverse when the block has
+// gone (near-)rank-deficient — e.g. a column converged, making its search
+// direction numerically dependent on the others.
+Matrix solve_block_gram(const Matrix& t, const Matrix& s) {
+  Matrix tsym = t;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      tsym(i, j) = tsym(j, i) = 0.5 * (t(i, j) + t(j, i));
+  try {
+    return Cholesky(tsym).solve(s);
+  } catch (const std::invalid_argument&) {
+    const EigSym eig = eig_sym(tsym);
+    double lmax = 0.0;
+    for (std::size_t i = 0; i < eig.values.size(); ++i)
+      lmax = std::max(lmax, std::abs(eig.values[i]));
+    const double cut = lmax * 1e-13;
+    Matrix vts = matmul_tn(eig.vectors, s);
+    for (std::size_t i = 0; i < vts.rows(); ++i) {
+      const double lam = eig.values[i];
+      const double inv = std::abs(lam) > cut ? 1.0 / lam : 0.0;
+      for (std::size_t j = 0; j < vts.cols(); ++j) vts(i, j) *= inv;
+    }
+    return matmul(eig.vectors, vts);
+  }
+}
+
+}  // namespace
 
 Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats* stats,
            const LinearOp& precond) {
@@ -45,6 +77,72 @@ Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   local.relative_residual = norm2(r) / bnorm;
+  if (stats) *stats = local;
+  return x;
+}
+
+Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
+                 BlockIterStats* stats, const LinearOpMany& precond) {
+  const std::size_t n = b.rows();
+  const std::size_t k = b.cols();
+  Matrix x(n, k);
+  BlockIterStats local;
+
+  // Zero columns solve to zero; drop them so the Gram systems stay SPD.
+  std::vector<double> bnorm_all(k, 0.0);
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < k; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += b(i, j) * b(i, j);
+    bnorm_all[j] = std::sqrt(s);
+    if (bnorm_all[j] > 0.0) active.push_back(j);
+  }
+  const std::size_t ka = active.size();
+  if (ka == 0) {
+    local.converged = true;
+    if (stats) *stats = local;
+    return x;
+  }
+  std::vector<double> bnorm(ka);
+  Matrix r(n, ka);
+  for (std::size_t j = 0; j < ka; ++j) {
+    bnorm[j] = bnorm_all[active[j]];
+    for (std::size_t i = 0; i < n; ++i) r(i, j) = b(i, active[j]);
+  }
+
+  Matrix xa(n, ka);
+  Matrix z = precond ? precond(r) : r;
+  Matrix p = z;
+  Matrix s = matmul_tn(z, r);  // ka x ka
+  for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    const Matrix q = a(p);
+    const Matrix t = matmul_tn(p, q);
+    const Matrix alpha = solve_block_gram(t, s);
+    xa += matmul(p, alpha);
+    r -= matmul(q, alpha);
+    local.iterations = it + 1;
+
+    double worst = 0.0;
+    for (std::size_t j = 0; j < ka; ++j) {
+      double rs = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rs += r(i, j) * r(i, j);
+      worst = std::max(worst, std::sqrt(rs) / bnorm[j]);
+    }
+    local.max_relative_residual = worst;
+    if (worst <= opt.rel_tol) {
+      local.converged = true;
+      break;
+    }
+
+    z = precond ? precond(r) : r;
+    const Matrix s_next = matmul_tn(z, r);
+    const Matrix beta = solve_block_gram(s, s_next);
+    p = z + matmul(p, beta);
+    s = s_next;
+  }
+
+  for (std::size_t j = 0; j < ka; ++j)
+    for (std::size_t i = 0; i < n; ++i) x(i, active[j]) = xa(i, j);
   if (stats) *stats = local;
   return x;
 }

@@ -9,12 +9,17 @@
 #include <cstddef>
 #include <functional>
 
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace subspar {
 
 /// y = A x for a black-box linear operator.
 using LinearOp = std::function<Vector(const Vector&)>;
+
+/// Y = A X columnwise for a black-box linear operator (each column of X is
+/// an independent vector; implementations may batch or thread the columns).
+using LinearOpMany = std::function<Matrix(const Matrix&)>;
 
 struct IterStats {
   std::size_t iterations = 0;
@@ -32,6 +37,24 @@ struct IterOptions {
 /// and fills `stats`.
 Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats* stats,
            const LinearOp& precond = nullptr);
+
+struct BlockIterStats {
+  std::size_t iterations = 0;          ///< block iterations (shared by all columns)
+  double max_relative_residual = 0.0;  ///< worst column at exit
+  bool converged = false;              ///< every column converged
+};
+
+/// Blocked PCG for SPD A with k right-hand sides (the columns of b), sharing
+/// one block-Krylov space across the columns (O'Leary): each iteration runs
+/// ONE batched operator application for all k columns, and the block search
+/// directions deflate the extremal spectrum, so the iteration count drops
+/// well below the single-vector pcg()'s. Columns converge to the same
+/// per-column tolerance as pcg(). Near-dependence inside the block (e.g. a
+/// converged column) is handled by a spectral pseudo-inverse of the small
+/// k x k Gram systems, so the method never breaks down. Zero columns of b
+/// return zero columns. Deterministic for any SUBSPAR_THREADS.
+Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
+                 BlockIterStats* stats, const LinearOpMany& precond = nullptr);
 
 /// Restarted GMRES(m).
 Vector gmres(const LinearOp& a, const Vector& b, std::size_t restart, const IterOptions& opt,

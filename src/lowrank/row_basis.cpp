@@ -87,14 +87,18 @@ void RowBasisRep::build_level2(const SubstrateSolver& solver) {
   Rng rng(options_.seed);
 
   // One random sample vector per square; responses by direct solves (the
-  // coarsest level has only up to 16 squares, §4.3.3).
-  std::map<SquareId, Vector> sample_response;
-  for (const SquareId& s : tree.squares(2)) {
-    const auto& ids = contacts(s);
-    Vector m(n);
-    for (const std::size_t id : ids) m[id] = rng.normal();
-    sample_response.emplace(s, solver.solve(m));
+  // coarsest level has only up to 16 squares, §4.3.3), batched into one
+  // solve_many call. RNG draws keep the original per-square order, so the
+  // sample vectors are unchanged.
+  const auto level2 = tree.squares(2);
+  Matrix sample_rhs(n, level2.size());
+  for (std::size_t c = 0; c < level2.size(); ++c) {
+    for (const std::size_t id : contacts(level2[c])) sample_rhs(id, c) = rng.normal();
   }
+  const Matrix sample_resp_mat = solver.solve_many(sample_rhs);
+  std::map<SquareId, Vector> sample_response;
+  for (std::size_t c = 0; c < level2.size(); ++c)
+    sample_response.emplace(level2[c], sample_resp_mat.col(c));
 
   // Row bases from the sampled interactions.
   for (const SquareId& s : tree.squares(2)) {
@@ -120,25 +124,34 @@ void RowBasisRep::build_level2(const SubstrateSolver& solver) {
     reps_.emplace(s, std::move(rep));
   }
 
-  // Responses to the row-basis vectors, by direct solves, recorded over P_s.
-  for (const SquareId& s : tree.squares(2)) {
-    SquareRep& rep = reps_.at(s);
+  // Responses to the row-basis vectors, by direct solves, recorded over
+  // P_s. All basis columns of all squares are independent: one batch.
+  std::vector<std::pair<SquareId, std::size_t>> v_cols;  // (square, column)
+  for (const SquareId& s : level2)
+    for (std::size_t k = 0; k < reps_.at(s).v.cols(); ++k) v_cols.emplace_back(s, k);
+  Matrix v_rhs(n, v_cols.size());
+  for (std::size_t c = 0; c < v_cols.size(); ++c) {
+    const auto& [s, k] = v_cols[c];
     const auto& ids = contacts(s);
+    const Matrix& v = reps_.at(s).v;
+    for (std::size_t i = 0; i < ids.size(); ++i) v_rhs(ids[i], c) = v(i, k);
+  }
+  const Matrix v_resp = solver.solve_many(v_rhs);
+
+  std::size_t col = 0;
+  for (const SquareId& s : level2) {
+    SquareRep& rep = reps_.at(s);
     const std::size_t r = rep.v.cols();
-    std::vector<Vector> responses;
-    for (std::size_t k = 0; k < r; ++k) {
-      Vector padded(n);
-      for (std::size_t i = 0; i < ids.size(); ++i) padded[ids[i]] = rep.v(i, k);
-      responses.push_back(solver.solve(padded));
-    }
     auto region = tree.local(s);
     for (const SquareId& q : tree.interactive(s)) region.push_back(q);
     for (const SquareId& q : region) {
       const auto& qids = contacts(q);
       Matrix block(qids.size(), r);
-      for (std::size_t k = 0; k < r; ++k) block.set_col(k, restrict_to(responses[k], qids));
+      for (std::size_t k = 0; k < r; ++k)
+        for (std::size_t i = 0; i < qids.size(); ++i) block(i, k) = v_resp(qids[i], col + k);
       rep.response.emplace(q, std::move(block));
     }
+    col += r;
   }
 }
 
@@ -190,7 +203,16 @@ std::map<SquareId, RowBasisRep::ResponseBlocks> RowBasisRep::split_responses(
 
   // Combine-solves: one solve per (column index, parent 3x3 phase, child
   // position) group; distinct members' parents are >= 3 squares apart, so
-  // each orthogonal remainder's local response separates (§4.3.1).
+  // each orthogonal remainder's local response separates (§4.3.1). The
+  // groups are mutually independent, so all combined vectors are assembled
+  // first and solved as one batch; the per-group refinement below runs in
+  // the original group order.
+  struct CombineGroup {
+    std::size_t k = 0;
+    std::vector<const Item*> members;
+  };
+  std::vector<CombineGroup> groups;
+  std::vector<Vector> thetas;
   for (std::size_t k = 0; k < max_k; ++k) {
     for (int pa = 0; pa < 3; ++pa) {
       for (int pb = 0; pb < 3; ++pb) {
@@ -207,43 +229,51 @@ std::map<SquareId, RowBasisRep::ResponseBlocks> RowBasisRep::split_responses(
               members.push_back(&it);
             }
             if (members.empty()) continue;
-            const Vector u = solver.solve(theta);
-
-            for (const Item* itp : members) {
-              const Item& it = *itp;
-              Vector ocol(it.o.rows());
-              for (std::size_t i = 0; i < ocol.size(); ++i) ocol[i] = it.o(i, k);
-              for (const SquareId& q : tree.local(it.p)) {
-                const auto& qids = contacts(q);
-                const Vector raw = restrict_to(u, qids);
-                // Refinement (eq. 4.24): the in-(V_q) part of the response
-                // comes from the recorded parent-level data; only the
-                // (W_q) part is read off the combined solve.
-                Vector refined = raw;
-                const SquareRep& qrep = reps_.at(q);
-                if (qrep.v.cols() > 0) {
-                  const Vector vq_raw = matvec_t(qrep.v, raw);
-                  refined -= matvec(qrep.v, vq_raw);
-                  if (qrep.response.count(it.p) > 0) {
-                    // (G_{p,q} V_q)' o: rows of the stored block follow
-                    // contacts(p).
-                    const Matrix& gpq_vq = qrep.response.at(it.p);
-                    refined += matvec(qrep.v, matvec_t(gpq_vq, ocol));
-                  }
-                }
-                // Add the parent-row-basis part of the response (eq. 4.22).
-                const SquareRep& prep = reps_.at(it.p);
-                if (prep.v.cols() > 0 && prep.response.count(q) > 0) {
-                  Vector ccol(it.c.rows());
-                  for (std::size_t i = 0; i < ccol.size(); ++i) ccol[i] = it.c(i, k);
-                  refined += matvec(prep.response.at(q), ccol);
-                }
-                Matrix& dst = out.at(it.s).at(q);
-                for (std::size_t i = 0; i < qids.size(); ++i) dst(i, k) = refined[i];
-              }
-            }
+            groups.push_back({k, std::move(members)});
+            thetas.push_back(std::move(theta));
           }
         }
+      }
+    }
+  }
+  Matrix rhs(n, thetas.size());
+  for (std::size_t c = 0; c < thetas.size(); ++c) rhs.set_col(c, thetas[c]);
+  const Matrix resp = thetas.empty() ? Matrix(n, 0) : solver.solve_many(rhs);
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::size_t k = groups[g].k;
+    const Vector u = resp.col(g);
+    for (const Item* itp : groups[g].members) {
+      const Item& it = *itp;
+      Vector ocol(it.o.rows());
+      for (std::size_t i = 0; i < ocol.size(); ++i) ocol[i] = it.o(i, k);
+      for (const SquareId& q : tree.local(it.p)) {
+        const auto& qids = contacts(q);
+        const Vector raw = restrict_to(u, qids);
+        // Refinement (eq. 4.24): the in-(V_q) part of the response
+        // comes from the recorded parent-level data; only the
+        // (W_q) part is read off the combined solve.
+        Vector refined = raw;
+        const SquareRep& qrep = reps_.at(q);
+        if (qrep.v.cols() > 0) {
+          const Vector vq_raw = matvec_t(qrep.v, raw);
+          refined -= matvec(qrep.v, vq_raw);
+          if (qrep.response.count(it.p) > 0) {
+            // (G_{p,q} V_q)' o: rows of the stored block follow
+            // contacts(p).
+            const Matrix& gpq_vq = qrep.response.at(it.p);
+            refined += matvec(qrep.v, matvec_t(gpq_vq, ocol));
+          }
+        }
+        // Add the parent-row-basis part of the response (eq. 4.22).
+        const SquareRep& prep = reps_.at(it.p);
+        if (prep.v.cols() > 0 && prep.response.count(q) > 0) {
+          Vector ccol(it.c.rows());
+          for (std::size_t i = 0; i < ccol.size(); ++i) ccol[i] = it.c(i, k);
+          refined += matvec(prep.response.at(q), ccol);
+        }
+        Matrix& dst = out.at(it.s).at(q);
+        for (std::size_t i = 0; i < qids.size(); ++i) dst(i, k) = refined[i];
       }
     }
   }
@@ -330,24 +360,33 @@ void RowBasisRep::build_finest(const SubstrateSolver& solver) {
   if (maxlev >= 3) {
     w_resp = split_responses(solver, maxlev, w_batches);
   } else {
-    for (const SquareId& s : tree.squares(maxlev)) {
+    // Level 2 is already the finest: direct solves, all W columns of all
+    // squares batched into one solve_many call.
+    std::vector<std::pair<SquareId, std::size_t>> w_cols;  // (square, column)
+    for (const SquareId& s : tree.squares(maxlev))
+      for (std::size_t k = 0; k < w_batches.at(s).cols(); ++k) w_cols.emplace_back(s, k);
+    Matrix rhs(n, w_cols.size());
+    for (std::size_t c = 0; c < w_cols.size(); ++c) {
+      const auto& [s, k] = w_cols[c];
       const auto& ids = contacts(s);
       const Matrix& w = w_batches.at(s);
+      for (std::size_t i = 0; i < ids.size(); ++i) rhs(ids[i], c) = w(i, k);
+    }
+    const Matrix resp = solver.solve_many(rhs);
+
+    std::size_t col = 0;
+    for (const SquareId& s : tree.squares(maxlev)) {
+      const Matrix& w = w_batches.at(s);
       ResponseBlocks blocks;
-      std::vector<Vector> responses;
-      for (std::size_t k = 0; k < w.cols(); ++k) {
-        Vector padded(n);
-        for (std::size_t i = 0; i < ids.size(); ++i) padded[ids[i]] = w(i, k);
-        responses.push_back(solver.solve(padded));
-      }
       for (const SquareId& q : tree.local(s)) {
         const auto& qids = contacts(q);
         Matrix block(qids.size(), w.cols());
         for (std::size_t k = 0; k < w.cols(); ++k)
-          block.set_col(k, restrict_to(responses[k], qids));
+          for (std::size_t i = 0; i < qids.size(); ++i) block(i, k) = resp(qids[i], col + k);
         blocks.emplace(q, std::move(block));
       }
       w_resp.emplace(s, std::move(blocks));
+      col += w.cols();
     }
   }
 

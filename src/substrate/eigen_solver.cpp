@@ -8,10 +8,16 @@
 #include "transform/dct.hpp"
 #include "transform/fft.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
+
+/// Widest column block fed to one pcg_block call: bounds the O(k^2 n) Gram
+/// work and the O(k^3) small solves while keeping the spectrum deflation
+/// that makes the blocked iteration converge in far fewer iterations.
+constexpr std::size_t kMaxSolveBlock = 16;
 
 // Panel-averaging factor for mode m over M panels:
 // mean over a panel of cos(m pi x / a) relative to its center value.
@@ -22,6 +28,14 @@ double sinc_factor(std::size_t m, std::size_t panels) {
 }
 
 }  // namespace
+
+double kernel_block_entry(const Vector& kernel, std::size_t mx, std::size_t ny,
+                          std::size_t cx, std::size_t cy, long dx, long dy) {
+  SUBSPAR_REQUIRE(kernel.size() == mx * ny);
+  const long kx = std::clamp(static_cast<long>(cx) + dx, 0L, static_cast<long>(mx) - 1);
+  const long ky = std::clamp(static_cast<long>(cy) + dy, 0L, static_cast<long>(ny) - 1);
+  return kernel[static_cast<std::size_t>(kx) + mx * static_cast<std::size_t>(ky)];
+}
 
 struct SurfaceSolver::Impl {
   Layout layout;
@@ -40,38 +54,101 @@ struct SurfaceSolver::Impl {
 
   std::size_t grid_size() const { return layout.panels_x() * layout.panels_y(); }
 
+  // Eigenvalue multiply on one already-transformed grid.
+  void scale_modes(double* a) const {
+    const std::size_t mx = layout.panels_x(), ny = layout.panels_y();
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < mx; ++x) a[y * mx + x] *= lambda_tilde[x * ny + y];
+  }
+
   Vector apply_grid(const Vector& q) const {
     const std::size_t mx = layout.panels_x(), ny = layout.panels_y();
     std::vector<double> a(q.begin(), q.end());
     // Grid storage is x + mx * y; rows of length mx vary x, so the
     // row-transform runs over x (modes m) and the column transform over y.
     dct2_2d(a, ny, mx);
-    for (std::size_t y = 0; y < ny; ++y)
-      for (std::size_t x = 0; x < mx; ++x) a[y * mx + x] *= lambda_tilde[x * ny + y];
+    scale_modes(a.data());
     dct3_2d(a, ny, mx);
     return Vector(std::move(a));
   }
 
-  // Restricted operator on contact panels only.
-  Vector apply_restricted(const Vector& x) const {
-    Vector q(grid_size());
-    for (std::size_t k = 0; k < panels.size(); ++k) q[panels[k]] = x[k];
-    const Vector v = apply_grid(q);
-    Vector out(panels.size());
-    for (std::size_t k = 0; k < panels.size(); ++k) out[k] = v[panels[k]];
+  // Restricted operator on all columns at once: pad each column into its
+  // own panel grid, run the batched 2-D DCTs (threaded over columns),
+  // scale by the operator eigenvalues, transform back, restrict. Identical
+  // per-column arithmetic to the single-vector path for any thread count.
+  Matrix apply_restricted_many(const Matrix& x) const {
+    const std::size_t mx = layout.panels_x(), ny = layout.panels_y();
+    const std::size_t gsz = grid_size();
+    const std::size_t k = x.cols();
+    std::vector<double> grids(k * gsz, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      double* g = grids.data() + j * gsz;
+      for (std::size_t idx = 0; idx < panels.size(); ++idx) g[panels[idx]] = x(idx, j);
+    }
+    dct2_2d_many(grids, ny, mx, k);
+    parallel_for(k, [&](std::size_t j) { scale_modes(grids.data() + j * gsz); });
+    dct3_2d_many(grids, ny, mx, k);
+    Matrix out(panels.size(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double* g = grids.data() + j * gsz;
+      for (std::size_t idx = 0; idx < panels.size(); ++idx) out(idx, j) = g[panels[idx]];
+    }
     return out;
   }
 
-  Vector precondition(const Vector& r) const {
-    Vector z(r.size());
-    for (std::size_t c = 0; c + 1 < contact_begin.size(); ++c) {
-      const std::size_t b = contact_begin[c], e = contact_begin[c + 1];
-      Vector rc(e - b);
-      for (std::size_t k = b; k < e; ++k) rc[k - b] = r[k];
-      const Vector zc = block_factors[c].solve(rc);
-      for (std::size_t k = b; k < e; ++k) z[k] = zc[k - b];
-    }
+  // Block-Jacobi preconditioner applied per column (threaded).
+  Matrix precondition_many(const Matrix& r) const {
+    const std::size_t k = r.cols();
+    Matrix z(r.rows(), k);
+    parallel_for(k, [&](std::size_t j) {
+      for (std::size_t c = 0; c + 1 < contact_begin.size(); ++c) {
+        const std::size_t b = contact_begin[c], e = contact_begin[c + 1];
+        Vector rc(e - b);
+        for (std::size_t idx = b; idx < e; ++idx) rc[idx - b] = r(idx, j);
+        const Vector zc = block_factors[c].solve(rc);
+        for (std::size_t idx = b; idx < e; ++idx) z(idx, j) = zc[idx - b];
+      }
+    });
     return z;
+  }
+
+  // Shared solve core: contact-voltage columns -> contact-current columns,
+  // one blocked PCG per chunk of <= kMaxSolveBlock columns.
+  Matrix solve_block(const Matrix& contact_voltages) const {
+    const std::size_t n = layout.n_contacts();
+    const std::size_t k = contact_voltages.cols();
+    Matrix currents(n, k);
+    for (std::size_t j0 = 0; j0 < k; j0 += kMaxSolveBlock) {
+      const std::size_t kc = std::min(kMaxSolveBlock, k - j0);
+      // Right-hand sides: each contact's panels sit at the contact voltage.
+      Matrix v(panels.size(), kc);
+      for (std::size_t j = 0; j < kc; ++j)
+        for (std::size_t c = 0; c < n; ++c)
+          for (std::size_t idx = contact_begin[c]; idx < contact_begin[c + 1]; ++idx)
+            v(idx, j) = contact_voltages(c, j0 + j);
+
+      BlockIterStats stats;
+      const LinearOpMany op = [&](const Matrix& x) { return apply_restricted_many(x); };
+      const LinearOpMany pre = options.contact_block_precond
+                                   ? LinearOpMany([&](const Matrix& r) { return precondition_many(r); })
+                                   : LinearOpMany();
+      const Matrix q = pcg_block(
+          op, v, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
+          &stats, pre);
+      SUBSPAR_ENSURE(stats.converged);
+      total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
+      stat_solves += static_cast<long>(kc);
+
+      for (std::size_t j = 0; j < kc; ++j) {
+        for (std::size_t c = 0; c < n; ++c) {
+          double s = 0.0;
+          for (std::size_t idx = contact_begin[c]; idx < contact_begin[c + 1]; ++idx)
+            s += q(idx, j);
+          currents(c, j0 + j) = s;
+        }
+      }
+    }
+    return currents;
   }
 };
 
@@ -127,22 +204,24 @@ SurfaceSolver::SurfaceSolver(const Layout& layout, const SubstrateStack& stack,
       Matrix blockm(np, np);
       for (std::size_t i = 0; i < np; ++i) {
         const long xi = static_cast<long>(cpanels[i] % mx), yi = static_cast<long>(cpanels[i] / mx);
-        for (std::size_t j = 0; j < np; ++j) {
+        for (std::size_t j = i; j < np; ++j) {
           const long xj = static_cast<long>(cpanels[j] % mx), yj = static_cast<long>(cpanels[j] / mx);
-          // Offset from the kernel center, clamped to the grid: panel pairs
-          // further apart than the grid half-width get the edge value, a
-          // harmless approximation for a preconditioner.
-          const long dx = xj - xi, dy = yj - yi;
-          const long kx = std::clamp(static_cast<long>(cx) + dx, 0L, static_cast<long>(mx) - 1);
-          const long ky = std::clamp(static_cast<long>(cy) + dy, 0L, static_cast<long>(ny) - 1);
-          const double val = kernel[static_cast<std::size_t>(kx) +
-                                    mx * static_cast<std::size_t>(ky)];
-          // Symmetrize (the kernel is even in the offset up to boundary
-          // effects, which a preconditioner may ignore).
+          // One kernel lookup per unordered panel pair, symmetrized by
+          // construction (the kernel is even in the offset up to boundary
+          // effects, which a preconditioner may ignore). Iterating j >= i
+          // only also keeps the lookup of pair (i, j) from being silently
+          // overwritten by the mirrored lookup of pair (j, i).
+          const double val = kernel_block_entry(kernel, mx, ny, cx, cy, xj - xi, yj - yi);
           blockm(i, j) = val;
           blockm(j, i) = val;
         }
       }
+      // Postcondition, not a tautology-by-intent: CG requires a symmetric
+      // preconditioner, so any future change to the assembly above must
+      // keep the block exactly symmetric or fail loudly here.
+      for (std::size_t i = 0; i < np; ++i)
+        for (std::size_t j = i + 1; j < np; ++j)
+          SUBSPAR_ENSURE(blockm(i, j) == blockm(j, i));
       try {
         impl_->block_factors.emplace_back(blockm);
       } catch (const std::invalid_argument&) {
@@ -178,32 +257,13 @@ void SurfaceSolver::reset_iteration_stats() const {
 }
 
 Vector SurfaceSolver::do_solve(const Vector& contact_voltages) const {
-  const Impl& im = *impl_;
-  // Right-hand side: each contact's panels sit at the contact voltage.
-  Vector v(im.panels.size());
-  for (std::size_t c = 0; c < n_contacts(); ++c)
-    for (std::size_t k = im.contact_begin[c]; k < im.contact_begin[c + 1]; ++k)
-      v[k] = contact_voltages[c];
+  Matrix v(contact_voltages.size(), 1);
+  v.set_col(0, contact_voltages);
+  return impl_->solve_block(v).col(0);
+}
 
-  IterStats stats;
-  const LinearOp op = [&](const Vector& x) { return im.apply_restricted(x); };
-  const LinearOp pre = im.options.contact_block_precond
-                           ? LinearOp([&](const Vector& r) { return im.precondition(r); })
-                           : LinearOp();
-  const Vector q = pcg(op, v,
-                       {.rel_tol = im.options.rel_tol, .max_iterations = im.options.max_iterations},
-                       &stats, pre);
-  SUBSPAR_ENSURE(stats.converged);
-  im.total_iterations += static_cast<long>(stats.iterations);
-  ++im.stat_solves;
-
-  Vector currents(n_contacts());
-  for (std::size_t c = 0; c < n_contacts(); ++c) {
-    double s = 0.0;
-    for (std::size_t k = im.contact_begin[c]; k < im.contact_begin[c + 1]; ++k) s += q[k];
-    currents[c] = s;
-  }
-  return currents;
+Matrix SurfaceSolver::do_solve_many(const Matrix& contact_voltages) const {
+  return impl_->solve_block(contact_voltages);
 }
 
 }  // namespace subspar

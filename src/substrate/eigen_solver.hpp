@@ -49,10 +49,23 @@ class SurfaceSolver : public SubstrateSolver {
 
  protected:
   Vector do_solve(const Vector& contact_voltages) const override;
+  /// Batched solve: one blocked PCG over all columns (chunked to a small
+  /// block width), with batched DCT operator applications fanned out over
+  /// the SUBSPAR_THREADS pool.
+  Matrix do_solve_many(const Matrix& contact_voltages) const override;
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Translation-invariant kernel lookup used to assemble the per-contact
+/// block-Jacobi preconditioner (shared with the test suite): the value of
+/// the centered panel-response `kernel` (row-major mx x ny grid with the
+/// unit source at (cx, cy)) at panel offset (dx, dy). Offsets past the grid
+/// edge are clamped to the edge value — a harmless approximation for a
+/// preconditioner.
+double kernel_block_entry(const Vector& kernel, std::size_t mx, std::size_t ny,
+                          std::size_t cx, std::size_t cy, long dx, long dy);
 
 }  // namespace subspar

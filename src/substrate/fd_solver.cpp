@@ -10,8 +10,13 @@
 #include "transform/fft.hpp"
 #include "transform/poisson.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
+namespace {
+/// Column-chunk width per pcg_block call (see eigen_solver.cpp).
+constexpr std::size_t kMaxSolveBlock = 16;
+}  // namespace
 
 struct FdSolver::Impl {
   Layout layout;
@@ -39,6 +44,72 @@ struct FdSolver::Impl {
 
   std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
     return x + nx * (y + ny * z);
+  }
+
+  // Columnwise batched operator / preconditioner applications (identical
+  // per-column arithmetic to the single-vector path for any thread count).
+  Matrix apply_many(const Matrix& x) const {
+    Matrix y(x.rows(), x.cols());
+    parallel_for(x.cols(), [&](std::size_t j) { y.set_col(j, a.apply(x.col(j))); });
+    return y;
+  }
+
+  Matrix precondition_many(const Matrix& r) const {
+    Matrix z(r.rows(), r.cols());
+    parallel_for(r.cols(), [&](std::size_t j) {
+      if (fast_precond) {
+        z.set_col(j, fast_precond->solve(r.col(j)));
+      } else if (multigrid) {
+        z.set_col(j, multigrid->vcycle(r.col(j)));
+      } else {
+        z.set_col(j, ic0_solve(ic_factor, r.col(j)));
+      }
+    });
+    return z;
+  }
+
+  // Shared volume-solve core: contact-voltage columns -> interior voltage
+  // columns, one blocked PCG per chunk of <= kMaxSolveBlock columns.
+  Matrix solve_volume_block(const Matrix& contact_voltages) const {
+    const std::size_t nodes = nx * ny * nz;
+    const std::size_t k = contact_voltages.cols();
+    Matrix x(nodes, k);
+    const bool has_precond = fast_precond || multigrid || use_ic;
+    for (std::size_t j0 = 0; j0 < k; j0 += kMaxSolveBlock) {
+      const std::size_t kc = std::min(kMaxSolveBlock, k - j0);
+      Matrix b(nodes, kc);
+      for (std::size_t j = 0; j < kc; ++j)
+        for (std::size_t c = 0; c < contact_nodes.size(); ++c)
+          for (const std::size_t node : contact_nodes[c])
+            b(node, j) += g_contact * contact_voltages(c, j0 + j);
+
+      BlockIterStats stats;
+      const LinearOpMany op = [&](const Matrix& p) { return apply_many(p); };
+      const LinearOpMany pre =
+          has_precond ? LinearOpMany([&](const Matrix& r) { return precondition_many(r); })
+                      : LinearOpMany();
+      const Matrix xc = pcg_block(
+          op, b, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
+          &stats, pre);
+      SUBSPAR_ENSURE(stats.converged);
+      total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
+      stat_solves += static_cast<long>(kc);
+      for (std::size_t j = 0; j < kc; ++j)
+        for (std::size_t i = 0; i < nodes; ++i) x(i, j0 + j) = xc(i, j);
+    }
+    return x;
+  }
+
+  // Contact currents read off a volume solution column.
+  Vector currents_from(const Matrix& contact_voltages, const Matrix& x, std::size_t j) const {
+    Vector currents(contact_nodes.size());
+    for (std::size_t c = 0; c < contact_nodes.size(); ++c) {
+      double s = 0.0;
+      for (const std::size_t node : contact_nodes[c])
+        s += g_contact * (contact_voltages(c, j) - x(node, j));
+      currents[c] = s;
+    }
+    return currents;
   }
 };
 
@@ -221,41 +292,24 @@ void FdSolver::reset_iteration_stats() const {
 }
 
 Vector FdSolver::solve_volume(const Vector& contact_voltages) const {
-  const Impl& im = *impl_;
   SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
-  Vector b(grid_nodes());
-  for (std::size_t c = 0; c < n_contacts(); ++c)
-    for (const std::size_t node : im.contact_nodes[c]) b[node] += im.g_contact * contact_voltages[c];
-
-  IterStats stats;
-  const LinearOp op = [&](const Vector& x) { return im.a.apply(x); };
-  LinearOp pre;
-  if (im.fast_precond) {
-    pre = [&](const Vector& r) { return im.fast_precond->solve(r); };
-  } else if (im.multigrid) {
-    pre = [&](const Vector& r) { return im.multigrid->vcycle(r); };
-  } else if (im.use_ic) {
-    pre = [&](const Vector& r) { return ic0_solve(im.ic_factor, r); };
-  }
-  const Vector x = pcg(op, b,
-                       {.rel_tol = im.options.rel_tol, .max_iterations = im.options.max_iterations},
-                       &stats, pre);
-  SUBSPAR_ENSURE(stats.converged);
-  im.total_iterations += static_cast<long>(stats.iterations);
-  ++im.stat_solves;
-  return x;
+  Matrix v(contact_voltages.size(), 1);
+  v.set_col(0, contact_voltages);
+  return impl_->solve_volume_block(v).col(0);
 }
 
 Vector FdSolver::do_solve(const Vector& contact_voltages) const {
-  const Impl& im = *impl_;
-  const Vector x = solve_volume(contact_voltages);
-  Vector currents(n_contacts());
-  for (std::size_t c = 0; c < n_contacts(); ++c) {
-    double s = 0.0;
-    for (const std::size_t node : im.contact_nodes[c])
-      s += im.g_contact * (contact_voltages[c] - x[node]);
-    currents[c] = s;
-  }
+  Matrix v(contact_voltages.size(), 1);
+  v.set_col(0, contact_voltages);
+  const Matrix x = impl_->solve_volume_block(v);
+  return impl_->currents_from(v, x, 0);
+}
+
+Matrix FdSolver::do_solve_many(const Matrix& contact_voltages) const {
+  const Matrix x = impl_->solve_volume_block(contact_voltages);
+  Matrix currents(n_contacts(), contact_voltages.cols());
+  for (std::size_t j = 0; j < contact_voltages.cols(); ++j)
+    currents.set_col(j, impl_->currents_from(contact_voltages, x, j));
   return currents;
 }
 

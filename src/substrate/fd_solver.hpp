@@ -72,6 +72,10 @@ class FdSolver : public SubstrateSolver {
 
  protected:
   Vector do_solve(const Vector& contact_voltages) const override;
+  /// Batched solve: blocked PCG over column chunks, with the sparse
+  /// operator and the preconditioner applied per column across the
+  /// SUBSPAR_THREADS pool.
+  Matrix do_solve_many(const Matrix& contact_voltages) const override;
 
  private:
   struct Impl;

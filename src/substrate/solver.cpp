@@ -12,29 +12,33 @@ Vector SubstrateSolver::solve(const Vector& contact_voltages) const {
   return do_solve(contact_voltages);
 }
 
+Matrix SubstrateSolver::solve_many(const Matrix& contact_voltages) const {
+  SUBSPAR_REQUIRE(contact_voltages.rows() == n_contacts());
+  solve_count_ += static_cast<long>(contact_voltages.cols());
+  return do_solve_many(contact_voltages);
+}
+
+Matrix SubstrateSolver::do_solve_many(const Matrix& contact_voltages) const {
+  Matrix out(n_contacts(), contact_voltages.cols());
+  for (std::size_t j = 0; j < contact_voltages.cols(); ++j)
+    out.set_col(j, do_solve(contact_voltages.col(j)));
+  return out;
+}
+
 Matrix extract_dense(const SubstrateSolver& solver) {
   const std::size_t n = solver.n_contacts();
-  Matrix g(n, n);
-  Vector e(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    e.fill(0.0);
-    e[j] = 1.0;
-    g.set_col(j, solver.solve(e));
-  }
-  return g;
+  Matrix e = Matrix::identity(n);
+  return solver.solve_many(e);
 }
 
 Matrix extract_columns(const SubstrateSolver& solver, const std::vector<std::size_t>& cols) {
   const std::size_t n = solver.n_contacts();
-  Matrix g(n, cols.size());
-  Vector e(n);
+  Matrix e(n, cols.size());
   for (std::size_t k = 0; k < cols.size(); ++k) {
     SUBSPAR_REQUIRE(cols[k] < n);
-    e.fill(0.0);
-    e[cols[k]] = 1.0;
-    g.set_col(k, solver.solve(e));
+    e(cols[k], k) = 1.0;
   }
-  return g;
+  return solver.solve_many(e);
 }
 
 std::vector<std::size_t> sample_columns(std::size_t n, double fraction) {

@@ -23,6 +23,16 @@ class SubstrateSolver {
   /// Applies G: contact voltages in, contact currents out.
   Vector solve(const Vector& contact_voltages) const;
 
+  /// Applies G to k voltage vectors at once (the columns of
+  /// `contact_voltages`, an n_contacts x k matrix). Counts as k black-box
+  /// solves — the paper's solve-reduction factors are unchanged by
+  /// batching. The base implementation loops over do_solve(); solvers
+  /// override do_solve_many() to share work across the columns (blocked
+  /// PCG, batched transforms, thread fan-out). Results for each column
+  /// agree with solve() of that column to solver tolerance, and are
+  /// bit-identical across SUBSPAR_THREADS settings.
+  Matrix solve_many(const Matrix& contact_voltages) const;
+
   /// Number of contact panels, i.e. the dimension of G.
   virtual std::size_t n_contacts() const = 0;
   /// Short solver label used in bench/table output.
@@ -37,6 +47,10 @@ class SubstrateSolver {
   /// Implementation hook: one application of G (solve() wraps this and
   /// maintains the solve counter).
   virtual Vector do_solve(const Vector& contact_voltages) const = 0;
+
+  /// Implementation hook for batched application; the default loops over
+  /// do_solve() column by column.
+  virtual Matrix do_solve_many(const Matrix& contact_voltages) const;
 
  private:
   mutable long solve_count_ = 0;

@@ -1,82 +1,121 @@
 #include "transform/dct.hpp"
 
 #include <cmath>
+#include <map>
 
-#include "transform/fft.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
-
-// Unnormalized DCT-II, C_k = sum_j x_j cos(pi k (2j+1) / (2N)), via Makhoul's
-// even-odd permutation + length-N FFT.
-std::vector<double> dct2_unnormalized_fast(const std::vector<double>& x) {
-  const std::size_t n = x.size();
-  std::vector<Complex> v(n);
-  for (std::size_t j = 0; j < n / 2; ++j) {
-    v[j] = Complex(x[2 * j], 0.0);
-    v[n - 1 - j] = Complex(x[2 * j + 1], 0.0);
-  }
-  fft(v);
-  std::vector<double> c(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const double ang = -kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
-    c[k] = (Complex(std::cos(ang), std::sin(ang)) * v[k]).real();
-  }
-  return c;
-}
-
-// Inverse of the unnormalized DCT-II above.
-std::vector<double> dct3_from_unnormalized_fast(const std::vector<double>& c) {
-  const std::size_t n = c.size();
-  std::vector<Complex> v(n);
-  v[0] = Complex(c[0], 0.0);
-  for (std::size_t k = 1; k < n; ++k) {
-    // V_k = e^{+i pi k / 2N} (C_k - i C_{N-k}); the conjugate-symmetry of the
-    // FFT of the real permuted sequence gives C_{N-k} = -Im(e^{-i pi k/2N} V_k).
-    const double ang = kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
-    v[k] = Complex(std::cos(ang), std::sin(ang)) * Complex(c[k], -c[n - k]);
-  }
-  ifft(v);
-  std::vector<double> x(n);
-  for (std::size_t j = 0; j < n / 2; ++j) {
-    x[2 * j] = v[j].real();
-    x[2 * j + 1] = v[n - 1 - j].real();
-  }
-  return x;
-}
 
 double scale0(std::size_t n) { return std::sqrt(1.0 / static_cast<double>(n)); }
 double scalek(std::size_t n) { return std::sqrt(2.0 / static_cast<double>(n)); }
 
 }  // namespace
 
-std::vector<double> dct2(const std::vector<double>& x) {
-  const std::size_t n = x.size();
+DctPlan::DctPlan(std::size_t n) : n_(n), fast_(is_power_of_two(n) && n > 1) {
   SUBSPAR_REQUIRE(n > 0);
-  if (!is_power_of_two(n) || n == 1) return dct2_naive(x);
-  auto c = dct2_unnormalized_fast(x);
-  c[0] *= scale0(n);
-  const double sk = scalek(n);
-  for (std::size_t k = 1; k < n; ++k) c[k] *= sk;
-  return c;
+  s0_ = scale0(n);
+  sk_ = scalek(n);
+  if (fast_) {
+    (void)fft_plan(n);  // warm the FFT plan for this thread
+    tw_cos_.resize(n);
+    tw_sin_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = -kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+      tw_cos_[k] = std::cos(ang);
+      tw_sin_[k] = std::sin(ang);
+    }
+    scratch_.resize(n);
+  } else {
+    // Dense orthonormal DCT-II matrix, row-major: one trigonometric table
+    // instead of O(N^2) cos calls per transform.
+    dense_.resize(n * n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double s = k == 0 ? s0_ : sk_;
+      for (std::size_t j = 0; j < n; ++j)
+        dense_[k * n + j] = s * std::cos(kPi * static_cast<double>(k) *
+                                         (2.0 * static_cast<double>(j) + 1.0) /
+                                         (2.0 * static_cast<double>(n)));
+    }
+  }
+}
+
+void DctPlan::dct2(double* x) const {
+  const std::size_t n = n_;
+  if (!fast_) {
+    std::vector<double> y(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      double s = 0.0;
+      const double* row = dense_.data() + k * n;
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * x[j];
+      y[k] = s;
+    }
+    for (std::size_t k = 0; k < n; ++k) x[k] = y[k];
+    return;
+  }
+  // Makhoul even-odd permutation + length-N FFT.
+  Complex* v = scratch_.data();
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    v[j] = Complex(x[2 * j], 0.0);
+    v[n - 1 - j] = Complex(x[2 * j + 1], 0.0);
+  }
+  fft_plan(n).forward(v);
+  x[0] = v[0].real() * s0_;
+  for (std::size_t k = 1; k < n; ++k)
+    x[k] = (tw_cos_[k] * v[k].real() - tw_sin_[k] * v[k].imag()) * sk_;
+}
+
+void DctPlan::dct3(double* x) const {
+  const std::size_t n = n_;
+  if (!fast_) {
+    std::vector<double> y(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += dense_[k * n + j] * x[k];
+      y[j] = s;
+    }
+    for (std::size_t j = 0; j < n; ++j) x[j] = y[j];
+    return;
+  }
+  Complex* v = scratch_.data();
+  v[0] = Complex(x[0] / s0_, 0.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    // V_k = e^{+i pi k / 2N} (C_k - i C_{N-k}); the conjugate-symmetry of
+    // the FFT of the real permuted sequence gives C_{N-k} =
+    // -Im(e^{-i pi k/2N} V_k). e^{+i a} has cos = tw_cos, sin = -tw_sin.
+    const double ck = x[k] / sk_;
+    const double cnk = x[n - k] / sk_;
+    const double c = tw_cos_[k], s = -tw_sin_[k];
+    v[k] = Complex(c * ck + s * cnk, s * ck - c * cnk);
+  }
+  fft_plan(n).inverse(v);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    x[2 * j] = v[j].real();
+    x[2 * j + 1] = v[n - 1 - j].real();
+  }
+}
+
+const DctPlan& dct_plan(std::size_t n) {
+  thread_local std::map<std::size_t, DctPlan> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, DctPlan(n)).first;
+  return it->second;
+}
+
+std::vector<double> dct2(const std::vector<double>& x) {
+  SUBSPAR_REQUIRE(!x.empty());
+  std::vector<double> y = x;
+  dct_plan(y.size()).dct2(y.data());
+  return y;
 }
 
 std::vector<double> dct3(const std::vector<double>& y) {
-  const std::size_t n = y.size();
-  SUBSPAR_REQUIRE(n > 0);
-  if (!is_power_of_two(n) || n == 1) return dct3_naive(y);
-  std::vector<double> c(n);
-  c[0] = y[0] / scale0(n);
-  const double sk = scalek(n);
-  for (std::size_t k = 1; k < n; ++k) c[k] = y[k] / sk;
-  // The unnormalized inverse reconstructs x from C with the implicit factor
-  // (2/N) sum' (DCT-II/DCT-III duality); fold it in here.
-  auto x = dct3_from_unnormalized_fast(c);
-  // dct3_from_unnormalized_fast returns x such that
-  // dct2_unnormalized(x') = c with x' = x; the pair is exactly inverse, so
-  // no further scaling is needed.
+  SUBSPAR_REQUIRE(!y.empty());
+  std::vector<double> x = y;
+  dct_plan(x.size()).dct3(x.data());
   return x;
 }
 
@@ -109,35 +148,52 @@ std::vector<double> dct3_naive(const std::vector<double>& y) {
 
 namespace {
 
-template <typename Transform1D>
-void separable_2d(std::vector<double>& a, std::size_t rows, std::size_t cols,
-                  Transform1D&& t1d) {
-  SUBSPAR_REQUIRE(a.size() == rows * cols);
-  std::vector<double> buf;
-  // Rows.
+// One grid: rows through the length-`cols` plan in place, columns gathered
+// through the length-`rows` plan. No per-row allocation; one column buffer.
+void separable_2d_planned(double* a, std::size_t rows, std::size_t cols, bool forward) {
+  const DctPlan& row_plan = dct_plan(cols);
+  const DctPlan& col_plan = dct_plan(rows);
   for (std::size_t i = 0; i < rows; ++i) {
-    buf.assign(a.begin() + static_cast<std::ptrdiff_t>(i * cols),
-               a.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
-    auto out = t1d(buf);
-    std::copy(out.begin(), out.end(), a.begin() + static_cast<std::ptrdiff_t>(i * cols));
+    double* row = a + i * cols;
+    forward ? row_plan.dct2(row) : row_plan.dct3(row);
   }
-  // Columns.
   std::vector<double> colbuf(rows);
   for (std::size_t j = 0; j < cols; ++j) {
     for (std::size_t i = 0; i < rows; ++i) colbuf[i] = a[i * cols + j];
-    auto out = t1d(colbuf);
-    for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = out[i];
+    forward ? col_plan.dct2(colbuf.data()) : col_plan.dct3(colbuf.data());
+    for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = colbuf[i];
   }
+}
+
+void separable_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
+                       std::size_t batch, bool forward) {
+  SUBSPAR_REQUIRE(a.size() == batch * rows * cols);
+  const std::size_t grid = rows * cols;
+  parallel_for(batch, [&](std::size_t b) {
+    separable_2d_planned(a.data() + b * grid, rows, cols, forward);
+  });
 }
 
 }  // namespace
 
 void dct2_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
-  separable_2d(a, rows, cols, [](const std::vector<double>& v) { return dct2(v); });
+  SUBSPAR_REQUIRE(a.size() == rows * cols);
+  separable_2d_planned(a.data(), rows, cols, /*forward=*/true);
 }
 
 void dct3_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
-  separable_2d(a, rows, cols, [](const std::vector<double>& v) { return dct3(v); });
+  SUBSPAR_REQUIRE(a.size() == rows * cols);
+  separable_2d_planned(a.data(), rows, cols, /*forward=*/false);
+}
+
+void dct2_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
+                  std::size_t batch) {
+  separable_2d_many(a, rows, cols, batch, /*forward=*/true);
+}
+
+void dct3_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
+                  std::size_t batch) {
+  separable_2d_many(a, rows, cols, batch, /*forward=*/false);
 }
 
 }  // namespace subspar

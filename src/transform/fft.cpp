@@ -1,52 +1,72 @@
 #include "transform/fft.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "util/check.hpp"
 
 namespace subspar {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
+}  // namespace
 
-void fft_core(std::vector<Complex>& x, bool inverse) {
-  const std::size_t n = x.size();
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
   SUBSPAR_REQUIRE(is_power_of_two(n));
-  if (n <= 1) return;
-  // Bit-reversal permutation.
+  rev_.resize(n);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
+    rev_[i] = j;
   }
-  // Danielson-Lanczos butterflies.
+  roots_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
+    roots_[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+}
+
+void FftPlan::run(Complex* x, bool inverse) const {
+  const std::size_t n = n_;
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i)
+    if (i < rev_[i]) std::swap(x[i], x[rev_[i]]);
+  // Danielson-Lanczos butterflies; stage `len` uses every (n/len)-th root.
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex w =
+            inverse ? std::conj(roots_[k * stride]) : roots_[k * stride];
         const Complex u = x[i + k];
         const Complex v = x[i + k + len / 2] * w;
         x[i + k] = u + v;
         x[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }
 }
 
-}  // namespace
+void FftPlan::forward(Complex* x) const { run(x, /*inverse=*/false); }
 
-bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
-
-void fft(std::vector<Complex>& x) { fft_core(x, /*inverse=*/false); }
-
-void ifft(std::vector<Complex>& x) {
-  fft_core(x, /*inverse=*/true);
-  const double inv = 1.0 / static_cast<double>(x.size());
-  for (auto& v : x) v *= inv;
+void FftPlan::inverse(Complex* x) const {
+  run(x, /*inverse=*/true);
+  const double inv = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] *= inv;
 }
+
+const FftPlan& fft_plan(std::size_t n) {
+  thread_local std::map<std::size_t, FftPlan> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, FftPlan(n)).first;
+  return it->second;
+}
+
+void fft(std::vector<Complex>& x) { fft_plan(x.size()).forward(x.data()); }
+
+void ifft(std::vector<Complex>& x) { fft_plan(x.size()).inverse(x.data()); }
 
 std::vector<Complex> dft_naive(const std::vector<Complex>& x) {
   const std::size_t n = x.size();

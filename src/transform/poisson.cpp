@@ -11,28 +11,30 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 
 // Apply the 1-D orthonormal DCT (or its inverse) along one dimension of the
-// 3-D brick.
+// 3-D brick, through the cached plan (no per-line allocation; x-lines are
+// contiguous and transform in place).
 void transform_dim(std::vector<double>& a, const PoissonGrid& g, int dim, bool forward) {
   const std::size_t nx = g.nx, ny = g.ny, nz = g.nz;
   const std::size_t len = dim == 0 ? nx : (dim == 1 ? ny : nz);
+  const DctPlan& plan = dct_plan(len);
+  if (dim == 0) {
+    for (std::size_t o2 = 0; o2 < nz; ++o2)
+      for (std::size_t o1 = 0; o1 < ny; ++o1) {
+        double* line = a.data() + g.index(0, o1, o2);
+        forward ? plan.dct2(line) : plan.dct3(line);
+      }
+    return;
+  }
   std::vector<double> buf(len);
-  const std::size_t outer1 = dim == 0 ? ny : nx;
+  const std::size_t outer1 = nx;
   const std::size_t outer2 = dim == 2 ? ny : nz;
   for (std::size_t o2 = 0; o2 < outer2; ++o2) {
     for (std::size_t o1 = 0; o1 < outer1; ++o1) {
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::size_t idx = dim == 0   ? g.index(i, o1, o2)
-                                : dim == 1 ? g.index(o1, i, o2)
-                                           : g.index(o1, o2, i);
-        buf[i] = a[idx];
-      }
-      auto out = forward ? dct2(buf) : dct3(buf);
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::size_t idx = dim == 0   ? g.index(i, o1, o2)
-                                : dim == 1 ? g.index(o1, i, o2)
-                                           : g.index(o1, o2, i);
-        a[idx] = out[i];
-      }
+      for (std::size_t i = 0; i < len; ++i)
+        buf[i] = a[dim == 1 ? g.index(o1, i, o2) : g.index(o1, o2, i)];
+      forward ? plan.dct2(buf.data()) : plan.dct3(buf.data());
+      for (std::size_t i = 0; i < len; ++i)
+        a[dim == 1 ? g.index(o1, i, o2) : g.index(o1, o2, i)] = buf[i];
     }
   }
 }

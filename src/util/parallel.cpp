@@ -1,0 +1,163 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subspar {
+namespace {
+
+thread_local bool g_in_worker = false;    // pool worker thread
+thread_local bool g_in_parallel = false;  // caller currently inside parallel_for
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("SUBSPAR_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+// Persistent worker pool. One job at a time (parallel_for blocks), indices
+// handed out through an atomic counter, completion signalled back through a
+// countdown + condition variable.
+class Pool {
+ public:
+  explicit Pool(std::size_t threads) : threads_(threads) {
+    for (std::size_t t = 0; t + 1 < threads_; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t threads() const { return threads_; }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      active_ = workers_.size();
+      ++generation_;
+    }
+    wake_.notify_all();
+    drain(fn);  // the caller participates
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] { return active_ == 0; });
+      job_fn_ = nullptr;
+      error = first_error_;
+      first_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void drain(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_n_) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        next_.store(job_n_, std::memory_order_relaxed);  // cancel the rest
+      }
+    }
+  }
+
+  void worker_loop() {
+    g_in_worker = true;
+    std::size_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = job_fn_;
+      }
+      if (fn) drain(*fn);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--active_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_, done_;
+  bool stop_ = false;
+  std::size_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;
+  std::exception_ptr first_error_;
+};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<Pool> g_pool;  // guarded by g_pool_mutex
+
+Pool& pool() {
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<Pool>(env_thread_count());
+  return *g_pool;
+}
+
+}  // namespace
+
+std::size_t thread_count() { return pool().threads(); }
+
+void set_thread_count(std::size_t n) {
+  SUBSPAR_REQUIRE(n >= 1);
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<Pool>(n);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  // No nested parallelism: a body running on a pool worker OR on a caller
+  // that is itself inside a parallel_for (the caller participates in
+  // draining its own job) runs inline — re-entering Pool::run mid-job
+  // would clobber the in-flight job state.
+  if (g_in_worker || g_in_parallel) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  g_in_parallel = true;
+  try {
+    pool().run(n, fn);
+  } catch (...) {
+    g_in_parallel = false;
+    throw;
+  }
+  g_in_parallel = false;
+}
+
+}  // namespace subspar

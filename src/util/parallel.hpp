@@ -1,0 +1,30 @@
+// Fixed-size thread pool shared by the batched solve pipeline.
+//
+// The pool size comes from the SUBSPAR_THREADS environment variable at
+// first use (default: hardware concurrency). Size 1 runs everything inline
+// on the caller — fully deterministic single-threaded execution. Because
+// every parallel_for body writes only to its own disjoint output slots and
+// per-index arithmetic is independent of the schedule, results are
+// bit-identical for ANY thread count; SUBSPAR_THREADS=1 is the reference.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace subspar {
+
+/// Current pool size (>= 1). Resolved from SUBSPAR_THREADS on first use.
+std::size_t thread_count();
+
+/// Re-sizes the pool (tests and tools; >= 1). Takes effect immediately:
+/// existing workers are joined and a new pool is spun up.
+void set_thread_count(std::size_t n);
+
+/// Runs fn(i) for every i in [0, n), blocking until all complete. The body
+/// must only write state owned by index i. Work is executed inline when the
+/// pool has one thread or when called from inside a pool worker (no nested
+/// parallelism). The first exception thrown by any body is rethrown on the
+/// caller.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace subspar

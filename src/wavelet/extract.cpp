@@ -49,15 +49,33 @@ WaveletExtraction wavelet_extract_combined(const SubstrateSolver& solver,
   SymmetricEntryAccumulator acc(n);
 
   // ---- root-level leftovers: one solve per V column gives a full row and
-  // column of G_w (expressions 3.21-3.23).
-  for (const std::size_t k : basis.root_columns()) {
-    const Vector u = solver.solve(basis.column_vector(k));
-    for (std::size_t j = 0; j < n; ++j) acc.record(j, k, basis.column_dot(j, u));
+  // column of G_w (expressions 3.21-3.23). The columns are independent, so
+  // they go to the solver as one batch.
+  const std::vector<std::size_t>& root = basis.root_columns();
+  if (!root.empty()) {
+    Matrix rhs(n, root.size());
+    for (std::size_t c = 0; c < root.size(); ++c) rhs.set_col(c, basis.column_vector(root[c]));
+    const Matrix u = solver.solve_many(rhs);
+    for (std::size_t c = 0; c < root.size(); ++c) {
+      const Vector uc = u.col(c);
+      for (std::size_t j = 0; j < n; ++j) acc.record(j, root[c], basis.column_dot(j, uc));
+    }
   }
 
   // ---- W blocks: combine basis vectors of squares >= 3 apart (eq. 3.24).
+  // All (m, 3x3-phase) combined voltage vectors of one level are mutually
+  // independent, so each level assembles them into one batch and rides the
+  // blocked solve path; the per-theta entry extraction stays in the original
+  // sequential order, which keeps results identical to the one-at-a-time
+  // pipeline.
   for (int lev = basis.root_level(); lev <= tree.max_level(); ++lev) {
     const std::size_t max_m = basis.max_w_on_level(lev);
+    struct ThetaGroup {
+      std::size_t m = 0;              // W column index within each member
+      std::vector<SquareId> members;  // constituent squares
+    };
+    std::vector<ThetaGroup> groups;
+    std::vector<Vector> thetas;
     for (std::size_t m = 0; m < max_m; ++m) {
       for (int pa = 0; pa < 3; ++pa) {
         for (int pb = 0; pb < 3; ++pb) {
@@ -72,19 +90,27 @@ WaveletExtraction wavelet_extract_combined(const SubstrateSolver& solver,
             members.push_back(s);
           }
           if (members.empty()) continue;
-          const Vector u = solver.solve(theta);
+          groups.push_back({m, std::move(members)});
+          thetas.push_back(std::move(theta));
+        }
+      }
+    }
+    if (groups.empty()) continue;
+    Matrix rhs(n, thetas.size());
+    for (std::size_t c = 0; c < thetas.size(); ++c) rhs.set_col(c, thetas[c]);
+    const Matrix resp = solver.solve_many(rhs);
 
-          // Extract the response to each constituent at every basis vector
-          // whose square is not well-separated from it (levels >= lev; the
-          // coarser-level entries come from symmetry).
-          for (const SquareId& s : members) {
-            const std::size_t col_idx = basis.w_columns(s)[m];
-            for (const SquareId& t : tree.local(s)) {
-              for (const SquareId& sp : subtree_squares(tree, t)) {
-                for (const std::size_t row_idx : basis.w_columns(sp)) {
-                  acc.record(row_idx, col_idx, basis.column_dot(row_idx, u));
-                }
-              }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const Vector u = resp.col(g);
+      // Extract the response to each constituent at every basis vector
+      // whose square is not well-separated from it (levels >= lev; the
+      // coarser-level entries come from symmetry).
+      for (const SquareId& s : groups[g].members) {
+        const std::size_t col_idx = basis.w_columns(s)[groups[g].m];
+        for (const SquareId& t : tree.local(s)) {
+          for (const SquareId& sp : subtree_squares(tree, t)) {
+            for (const std::size_t row_idx : basis.w_columns(sp)) {
+              acc.record(row_idx, col_idx, basis.column_dot(row_idx, u));
             }
           }
         }

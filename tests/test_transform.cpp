@@ -10,6 +10,7 @@
 #include "transform/dct.hpp"
 #include "transform/fft.hpp"
 #include "transform/poisson.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace subspar {
@@ -283,6 +284,94 @@ TEST(FastPoisson, SingleLayerNzOne) {
   for (auto& v : b) v = rng.normal();
   const Vector x = fp.solve(b);
   EXPECT_LT(norm2(fp.apply(x) - b), 1e-10 * norm2(b));
+}
+
+// ------------------------------------------------ plans and batched DCTs
+
+TEST(DctPlan, PlannedDct2MatchesNaive) {
+  // 1e-13-level agreement; the O(N^2) reference itself accumulates roundoff
+  // ~ sqrt(N) * eps, so the tolerance scales with sqrt(N).
+  for (const std::size_t n : {2u, 8u, 64u, 256u}) {
+    auto x = random_signal(n, 40 + n);
+    const auto ref = dct2_naive(x);
+    dct_plan(n).dct2(x.data());
+    const double tol = 2e-14 * std::sqrt(static_cast<double>(n));
+    for (std::size_t k = 0; k < n; ++k) ASSERT_NEAR(x[k], ref[k], tol) << "n=" << n;
+  }
+}
+
+TEST(DctPlan, PlannedDct3MatchesNaive) {
+  for (const std::size_t n : {2u, 8u, 64u, 256u}) {
+    auto y = random_signal(n, 50 + n);
+    const auto ref = dct3_naive(y);
+    dct_plan(n).dct3(y.data());
+    const double tol = 2e-14 * std::sqrt(static_cast<double>(n));
+    for (std::size_t k = 0; k < n; ++k) ASSERT_NEAR(y[k], ref[k], tol) << "n=" << n;
+  }
+}
+
+TEST(DctPlan, NonPowerOfTwoDenseTableMatchesNaive) {
+  for (const std::size_t n : {1u, 3u, 12u, 31u}) {
+    auto x = random_signal(n, 60 + n);
+    const auto ref = dct2_naive(x);
+    dct_plan(n).dct2(x.data());
+    for (std::size_t k = 0; k < n; ++k) ASSERT_NEAR(x[k], ref[k], 1e-13) << "n=" << n;
+  }
+}
+
+TEST(DctPlan, FreeFunctionsRouteThroughPlan) {
+  const auto x = random_signal(128, 70);
+  auto planned = x;
+  dct_plan(x.size()).dct2(planned.data());
+  const auto free_fn = dct2(x);
+  for (std::size_t k = 0; k < x.size(); ++k) ASSERT_EQ(planned[k], free_fn[k]);
+}
+
+TEST(Dct2dMany, MatchesSingleGridTransformsBitExactly) {
+  const std::size_t rows = 16, cols = 8, batch = 5;
+  auto stacked = random_signal(batch * rows * cols, 71);
+  std::vector<std::vector<double>> singles(batch);
+  for (std::size_t b = 0; b < batch; ++b)
+    singles[b].assign(stacked.begin() + static_cast<std::ptrdiff_t>(b * rows * cols),
+                      stacked.begin() + static_cast<std::ptrdiff_t>((b + 1) * rows * cols));
+  dct2_2d_many(stacked, rows, cols, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    dct2_2d(singles[b], rows, cols);
+    for (std::size_t i = 0; i < rows * cols; ++i)
+      ASSERT_EQ(stacked[b * rows * cols + i], singles[b][i]) << "grid " << b;
+  }
+}
+
+TEST(Dct2dMany, RoundTripIdentity) {
+  const std::size_t rows = 8, cols = 32, batch = 3;
+  auto a = random_signal(batch * rows * cols, 72);
+  const auto orig = a;
+  dct2_2d_many(a, rows, cols, batch);
+  dct3_2d_many(a, rows, cols, batch);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], orig[i], 1e-12);
+}
+
+TEST(Dct2dMany, BitIdenticalAcrossThreadCounts) {
+  const std::size_t rows = 32, cols = 32, batch = 8;
+  const auto orig = random_signal(batch * rows * cols, 73);
+  set_thread_count(1);
+  auto one = orig;
+  dct2_2d_many(one, rows, cols, batch);
+  set_thread_count(4);
+  auto four = orig;
+  dct2_2d_many(four, rows, cols, batch);
+  set_thread_count(1);
+  for (std::size_t i = 0; i < orig.size(); ++i) ASSERT_EQ(one[i], four[i]);
+}
+
+TEST(FftPlan, ForwardMatchesNaiveDft) {
+  Rng rng(74);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  const auto ref = dft_naive(x);
+  fft_plan(x.size()).forward(x.data());
+  for (std::size_t k = 0; k < x.size(); ++k)
+    ASSERT_LT(std::abs(x[k] - ref[k]), 1e-10);
 }
 
 TEST(Fft, LinearityProperty) {

@@ -155,13 +155,23 @@ TEST(WaveletExtract, CombinedMatchesReferenceOnKeptEntries) {
   const SurfaceSolver solver(f.layout, test_stack());
   const WaveletExtraction ref = wavelet_extract_reference(solver, f.basis);
   const WaveletExtraction fast = wavelet_extract_combined(solver, f.basis);
-  // Same pattern.
-  EXPECT_EQ(ref.gws.nnz(), fast.gws.nnz());
+  // Same pattern, except that a pattern entry whose true magnitude is at
+  // rounding level can cancel to exactly 0.0 in the dense reference and be
+  // dropped by the mask — which side of zero it lands on is rounding luck,
+  // not signal. Any pattern mismatch must be numerically negligible.
+  const Matrix rd = ref.gws.to_dense();
+  const Matrix fd = fast.gws.to_dense();
+  for (std::size_t i = 0; i < rd.rows(); ++i) {
+    for (std::size_t j = 0; j < rd.cols(); ++j) {
+      if ((rd(i, j) == 0.0) != (fd(i, j) == 0.0)) {
+        EXPECT_LT(std::max(std::abs(rd(i, j)), std::abs(fd(i, j))), 1e-10 * rd.max_abs())
+            << i << "," << j;
+      }
+    }
+  }
   // Entries agree to the accuracy of the well-separated assumption: the
   // contamination from 3-apart squares is small relative to the largest
   // entries.
-  const Matrix rd = ref.gws.to_dense();
-  const Matrix fd = fast.gws.to_dense();
   EXPECT_LT((rd - fd).max_abs(), 2e-3 * rd.max_abs());
 }
 
@@ -227,9 +237,11 @@ TEST(WaveletExtract, BeatsDirectThresholdingOfG) {
 TEST(WaveletExtract, StrugglesOnAlternatingSizes) {
   // The motivating failure for Chapter 4 (Table 3.1 example 3): mixed
   // contact sizes break the geometric moment construction: accuracy is much
-  // worse than on the same-size grid.
-  Fixture reg(regular_grid_layout(4));
-  Fixture alt(alternating_size_layout(4));
+  // worse than on the same-size grid. Measured at n = 64: on the 4x4 grid
+  // every square is local to every other, so the combined extraction is
+  // near-exact there and the comparison would only see solver noise.
+  Fixture reg(regular_grid_layout(8));
+  Fixture alt(alternating_size_layout(8));
   const SurfaceSolver sreg(reg.layout, test_stack());
   const SurfaceSolver salt(alt.layout, test_stack());
   const Matrix greg = extract_dense(sreg);
