@@ -61,6 +61,86 @@ void BM_Dct2dMany(benchmark::State& state) {
 }
 BENCHMARK(BM_Dct2dMany)->Arg(4)->Arg(16);
 
+// ---- dense kernel layer: blocked matmul / gram / tall SVD
+
+Matrix random_dense(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  return a;
+}
+
+// Reference point for BM_Matmul: the naive i-k-j triple loop (with the
+// zero-skip branch) that was the seed's `matmul` before the blocked kernel
+// replaced it. Items = multiply-accumulates, comparable across both.
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dense(n, n, 7);
+  const Matrix b = random_dense(n, n, 8);
+  for (auto _ : state) {
+    Matrix c(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* crow = c.row_ptr(i);
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const double* brow = b.row_ptr(k);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    benchmark::DoNotOptimize(c(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(256);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dense(n, n, 7);
+  const Matrix b = random_dense(n, n, 8);
+  for (auto _ : state) {
+    const Matrix c = matmul(a, b);
+    benchmark::DoNotOptimize(c(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+void BM_GramTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dense(4 * n, n, 9);  // tall sample-matrix shape
+  for (auto _ : state) {
+    const Matrix g = gram_tn(a);
+    benchmark::DoNotOptimize(g(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(4 * n * n * n));
+}
+BENCHMARK(BM_GramTn)->Arg(64)->Arg(256);
+
+// Tall-matrix SVD, the low-rank sampling shape: QR-preconditioned path vs
+// the plain one-sided Jacobi baseline it replaced.
+void BM_TallSvd(benchmark::State& state) {
+  const Matrix a = random_dense(512, 32, 10);
+  for (auto _ : state) {
+    const Svd s = svd(a);
+    benchmark::DoNotOptimize(s.sigma[0]);
+  }
+}
+BENCHMARK(BM_TallSvd);
+
+void BM_TallSvdJacobi(benchmark::State& state) {
+  const Matrix a = random_dense(512, 32, 10);
+  for (auto _ : state) {
+    const Svd s = svd_jacobi(a);
+    benchmark::DoNotOptimize(s.sigma[0]);
+  }
+}
+BENCHMARK(BM_TallSvdJacobi);
+
 void BM_JacobiSvd(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   Rng rng(3);

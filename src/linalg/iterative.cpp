@@ -81,6 +81,22 @@ Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats
   return x;
 }
 
+namespace {
+
+// Selects the `keep` columns of a matrix (column compaction after
+// deflating converged block-CG columns).
+Matrix select_cols(const Matrix& m, const std::vector<std::size_t>& keep) {
+  Matrix out(m.rows(), keep.size());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.row_ptr(i);
+    double* dst = out.row_ptr(i);
+    for (std::size_t j = 0; j < keep.size(); ++j) dst[j] = src[keep[j]];
+  }
+  return out;
+}
+
+}  // namespace
+
 Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
                  BlockIterStats* stats, const LinearOpMany& precond) {
   const std::size_t n = b.rows();
@@ -90,58 +106,115 @@ Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
 
   // Zero columns solve to zero; drop them so the Gram systems stay SPD.
   std::vector<double> bnorm_all(k, 0.0);
-  std::vector<std::size_t> active;
+  std::vector<std::size_t> active;  // original column index of each live slot
   for (std::size_t j = 0; j < k; ++j) {
     double s = 0.0;
     for (std::size_t i = 0; i < n; ++i) s += b(i, j) * b(i, j);
     bnorm_all[j] = std::sqrt(s);
     if (bnorm_all[j] > 0.0) active.push_back(j);
   }
-  const std::size_t ka = active.size();
-  if (ka == 0) {
+  if (active.empty()) {
     local.converged = true;
     if (stats) *stats = local;
     return x;
   }
-  std::vector<double> bnorm(ka);
-  Matrix r(n, ka);
-  for (std::size_t j = 0; j < ka; ++j) {
+  std::vector<double> bnorm(active.size());
+  Matrix r(n, active.size());
+  for (std::size_t j = 0; j < active.size(); ++j) {
     bnorm[j] = bnorm_all[active[j]];
     for (std::size_t i = 0; i < n; ++i) r(i, j) = b(i, active[j]);
   }
 
-  Matrix xa(n, ka);
+  Matrix xa(n, active.size());
   Matrix z = precond ? precond(r) : r;
   Matrix p = z;
-  Matrix s = matmul_tn(z, r);  // ka x ka
+  Matrix s = matmul_tn(z, r);  // live x live Gram of the recurrence
+  // Stagnation watchdog: if the worst residual has not halved within a
+  // window, the search directions have degenerated — recompute the true
+  // residual and restart the recurrence from the current iterate.
+  constexpr std::size_t kStallWindow = 50;
+  double stall_ref = 0.0;
+  std::size_t stall_it = 0;
   for (std::size_t it = 0; it < opt.max_iterations; ++it) {
     const Matrix q = a(p);
     const Matrix t = matmul_tn(p, q);
     const Matrix alpha = solve_block_gram(t, s);
-    xa += matmul(p, alpha);
-    r -= matmul(q, alpha);
+    matmul_add(xa, p, alpha);
+    matmul_add(r, q, alpha, -1.0);
     local.iterations = it + 1;
 
+    // Per-column residuals; deflate converged columns out of the block so
+    // the Gram systems stay well-conditioned for the stragglers.
+    const std::size_t ka = active.size();
+    std::vector<std::size_t> keep;
     double worst = 0.0;
     for (std::size_t j = 0; j < ka; ++j) {
       double rs = 0.0;
       for (std::size_t i = 0; i < n; ++i) rs += r(i, j) * r(i, j);
-      worst = std::max(worst, std::sqrt(rs) / bnorm[j]);
+      const double rel = std::sqrt(rs) / bnorm[j];
+      if (rel <= opt.rel_tol) {
+        for (std::size_t i = 0; i < n; ++i) x(i, active[j]) = xa(i, j);
+      } else {
+        keep.push_back(j);
+        worst = std::max(worst, rel);
+      }
     }
     local.max_relative_residual = worst;
-    if (worst <= opt.rel_tol) {
+    if (keep.empty()) {
       local.converged = true;
       break;
+    }
+    const bool deflated = keep.size() < ka;
+    if (deflated) {
+      std::vector<std::size_t> next_active(keep.size());
+      std::vector<double> next_bnorm(keep.size());
+      for (std::size_t j = 0; j < keep.size(); ++j) {
+        next_active[j] = active[keep[j]];
+        next_bnorm[j] = bnorm[keep[j]];
+      }
+      active = std::move(next_active);
+      bnorm = std::move(next_bnorm);
+      xa = select_cols(xa, keep);
+      r = select_cols(r, keep);
+      // p is not compacted: every post-deflation path below restarts the
+      // recurrence with p = z.
+    }
+
+    if (worst <= 0.5 * stall_ref || stall_ref == 0.0) {
+      stall_ref = worst;
+      stall_it = it;
+    }
+    if (it - stall_it >= kStallWindow) {
+      // True-residual restart: one extra operator apply, only on stall.
+      r = a(xa);
+      r *= -1.0;
+      for (std::size_t j = 0; j < active.size(); ++j)
+        for (std::size_t i = 0; i < n; ++i) r(i, j) += b(i, active[j]);
+      z = precond ? precond(r) : r;
+      p = z;
+      s = matmul_tn(z, r);
+      stall_ref = worst;
+      stall_it = it;
+      continue;
     }
 
     z = precond ? precond(r) : r;
     const Matrix s_next = matmul_tn(z, r);
+    if (deflated) {
+      // Fresh directions for the surviving columns (their cross terms with
+      // the deflated ones are gone); CG re-accelerates from here.
+      p = z;
+      s = s_next;
+      continue;
+    }
     const Matrix beta = solve_block_gram(s, s_next);
-    p = z + matmul(p, beta);
+    Matrix p_next = z;
+    matmul_add(p_next, p, beta);
+    p = std::move(p_next);
     s = s_next;
   }
 
-  for (std::size_t j = 0; j < ka; ++j)
+  for (std::size_t j = 0; j < active.size(); ++j)
     for (std::size_t i = 0; i < n; ++i) x(i, active[j]) = xa(i, j);
   if (stats) *stats = local;
   return x;

@@ -13,8 +13,17 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  // Cache-blocked: both the read and the write stream stay inside one
+  // 32 x 32 block (8 KB each), instead of striding the full matrix.
+  constexpr std::size_t B = 32;
+  for (std::size_t i0 = 0; i0 < rows_; i0 += B) {
+    const std::size_t i1 = std::min(i0 + B, rows_);
+    for (std::size_t j0 = 0; j0 < cols_; j0 += B) {
+      const std::size_t j1 = std::min(j0 + B, cols_);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = j0; j < j1; ++j) t(j, i) = (*this)(i, j);
+    }
+  }
   return t;
 }
 
@@ -45,7 +54,7 @@ Vector Matrix::col(std::size_t j) const {
 Vector Matrix::row(std::size_t i) const {
   SUBSPAR_REQUIRE(i < rows_);
   Vector v(cols_);
-  for (std::size_t j = 0; j < cols_; ++j) v[j] = (*this)(i, j);
+  std::copy(row_ptr(i), row_ptr(i) + cols_, v.begin());
   return v;
 }
 
@@ -57,15 +66,17 @@ void Matrix::set_col(std::size_t j, const Vector& v) {
 Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
   SUBSPAR_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
   Matrix b(nr, nc);
-  for (std::size_t i = 0; i < nr; ++i)
-    for (std::size_t j = 0; j < nc; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double* src = row_ptr(r0 + i) + c0;
+    std::copy(src, src + nc, b.row_ptr(i));
+  }
   return b;
 }
 
 void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
   SUBSPAR_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
   for (std::size_t i = 0; i < b.rows(); ++i)
-    for (std::size_t j = 0; j < b.cols(); ++j) (*this)(r0 + i, c0 + j) = b(i, j);
+    std::copy(b.row_ptr(i), b.row_ptr(i) + b.cols(), row_ptr(r0 + i) + c0);
 }
 
 Matrix Matrix::hcat(const Matrix& a, const Matrix& b) {
@@ -113,52 +124,6 @@ Vector matvec_t(const Matrix& a, const Vector& x) {
   return y;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  SUBSPAR_REQUIRE(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
-  // i-k-j order keeps the inner loop streaming over contiguous rows.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.row_ptr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.row_ptr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
-  return c;
-}
-
-Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  SUBSPAR_REQUIRE(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_ptr(k);
-    const double* brow = b.row_ptr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row_ptr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
-  return c;
-}
-
-Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  SUBSPAR_REQUIRE(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_ptr(i);
-    double* crow = c.row_ptr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row_ptr(j);
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      crow[j] = s;
-    }
-  }
-  return c;
-}
+// The matmul family lives in linalg/dense_kernels.cpp (blocked core).
 
 }  // namespace subspar

@@ -61,11 +61,28 @@ class Matrix {
 Vector matvec(const Matrix& a, const Vector& x);
 /// y = A' x
 Vector matvec_t(const Matrix& a, const Vector& x);
+
+// Dense products run through a register-tiled, cache-blocked kernel
+// (linalg/dense_kernels.cpp). Large outputs are partitioned into fixed
+// tiles dispatched over the util/parallel pool; each tile is computed by
+// exactly one task with a fixed loop order, so results are bit-identical
+// for any SUBSPAR_THREADS. Prefer the *_add variants when accumulating
+// (C += alpha A B) — they skip the product temporary entirely — and
+// gram_tn for A'A, which computes only the upper triangle and mirrors it.
+
 /// C = A B
 Matrix matmul(const Matrix& a, const Matrix& b);
 /// C = A' B
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A B'
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
+/// C += alpha A B, in place (no temporary).
+void matmul_add(Matrix& c, const Matrix& a, const Matrix& b, double alpha = 1.0);
+/// C += alpha A' B, in place.
+void matmul_tn_add(Matrix& c, const Matrix& a, const Matrix& b, double alpha = 1.0);
+/// C += alpha A B', in place.
+void matmul_nt_add(Matrix& c, const Matrix& a, const Matrix& b, double alpha = 1.0);
+/// A' A: exactly symmetric (upper triangle computed, lower mirrored).
+Matrix gram_tn(const Matrix& a);
 
 }  // namespace subspar

@@ -65,6 +65,8 @@ Matrix QR::full_q() const {
   return apply_q(Matrix::identity(qr_.rows()), /*transpose=*/false);
 }
 
+Matrix QR::q_mul(Matrix x) const { return apply_q(std::move(x), /*transpose=*/false); }
+
 Matrix QR::r() const {
   const std::size_t n = qr_.cols();
   Matrix r(n, n);

@@ -19,6 +19,10 @@ class QR {
   Matrix full_q() const;
   /// Upper-triangular R (n x n).
   Matrix r() const;
+  /// Q X for an m x p matrix X, applied from the Householder factors
+  /// without ever forming Q (O(m n p) instead of the O(m^2 p) a formed
+  /// full Q would cost). Used by the QR-preconditioned SVD.
+  Matrix q_mul(Matrix x) const;
   /// Least-squares solve min ||A x - b||.
   Vector solve(const Vector& b) const;
 

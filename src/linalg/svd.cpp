@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/qr.hpp"
 #include "util/check.hpp"
 
 namespace subspar {
@@ -88,9 +89,39 @@ Svd svd_tall(const Matrix& a_in) {
   return out;
 }
 
+// QR-preconditioned path for m >> n: factor A = Q R once (O(m n^2)), run
+// the Jacobi sweeps on the small n x n R only (O(n) per rotation instead
+// of O(m)), then lift U = Q U_R. Worth it once the m-dependent rotation
+// work dominates the one-off QR cost.
+constexpr std::size_t kQrAspect = 2;  // use QR path when m >= kQrAspect * n
+
+Svd svd_tall_qr(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  const QR qr(a);
+  Svd out = svd_tall(qr.r());
+  // U = Q [U_R; 0], applied from the Householder factors.
+  Matrix upad(m, n);
+  upad.set_block(0, 0, out.u);
+  out.u = qr.q_mul(std::move(upad));
+  return out;
+}
+
+Svd svd_of_tall(const Matrix& a) {
+  if (a.cols() > 1 && a.rows() >= kQrAspect * a.cols()) return svd_tall_qr(a);
+  return svd_tall(a);
+}
+
 }  // namespace
 
 Svd svd(const Matrix& a) {
+  SUBSPAR_REQUIRE(!a.empty());
+  if (a.rows() >= a.cols()) return svd_of_tall(a);
+  Svd t = svd_of_tall(a.transposed());
+  std::swap(t.u, t.v);
+  return t;
+}
+
+Svd svd_jacobi(const Matrix& a) {
   SUBSPAR_REQUIRE(!a.empty());
   if (a.rows() >= a.cols()) return svd_tall(a);
   Svd t = svd_tall(a.transposed());

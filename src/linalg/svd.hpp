@@ -1,11 +1,14 @@
-// Singular value decomposition via one-sided Jacobi.
+// Singular value decomposition via one-sided Jacobi, QR-preconditioned for
+// tall matrices.
 //
 // The SVD is the workhorse of both sparsifiers: the wavelet basis splits a
 // square's voltage space with the SVD of its moment matrix (eq. 3.15), and
 // the low-rank method builds row bases from SVDs of sampled response
 // matrices (eq. 4.19) and recombines child bases in the fine-to-coarse sweep
-// (eq. 4.27). Every such matrix is small (tens on a side), so the very
-// accurate O(n^3)-per-sweep one-sided Jacobi iteration is the right tool.
+// (eq. 4.27). The short side is always small (tens of columns), so the very
+// accurate one-sided Jacobi iteration is the right tool; for the m >> n
+// sample matrices, a Householder QR first reduces A to its n x n R factor so
+// each Jacobi rotation costs O(n) instead of O(m).
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -18,8 +21,13 @@ struct Svd {
   Matrix v;          ///< n x k with orthonormal columns; A ~= U diag(sigma) V'
 };
 
-/// Thin SVD of an arbitrary m x n matrix.
+/// Thin SVD of an arbitrary m x n matrix. Routes tall (m >= 2n) inputs
+/// through the QR-preconditioned path; same accuracy as `svd_jacobi`.
 Svd svd(const Matrix& a);
+
+/// Plain one-sided Jacobi without the QR preconditioning step — the
+/// reference implementation `svd` is validated (and benchmarked) against.
+Svd svd_jacobi(const Matrix& a);
 
 /// Number of singular values >= rel_tol * sigma_max (0 for an all-zero
 /// matrix). The paper's "large singular value" criterion uses rel_tol = 1e-2

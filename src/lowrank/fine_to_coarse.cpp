@@ -52,7 +52,7 @@ std::map<SquareId, SquareBasis> sweep(const RowBasisRep& rep) {
       Matrix cs(0, k_total), os = x;
       if (vp.cols() > 0) {
         cs = matmul_tn(vp, x);
-        os = x - matmul(vp, cs);
+        matmul_add(os, vp, cs, -1.0);  // os = x - V_p cs, no product temporary
       }
       const auto inter = tree.interactive(p);
       std::size_t ni = 0;
@@ -70,9 +70,9 @@ std::map<SquareId, SquareBasis> sweep(const RowBasisRep& rep) {
         for (const SquareId& q : inter) {
           const std::size_t nq = rep.contacts(q).size();
           Matrix yq(nq, k_total);
-          if (vp.cols() > 0) yq += matmul(rep.response(p, q), cs);
+          if (vp.cols() > 0) matmul_add(yq, rep.response(p, q), cs);
           if (rep.v(q).cols() > 0 && rep.has_response(q, p)) {
-            yq += matmul(rep.v(q), matmul_tn(rep.response(q, p), os));
+            matmul_add(yq, rep.v(q), matmul_tn(rep.response(q, p), os));
           }
           y.set_block(r0, 0, yq);
           r0 += nq;

@@ -34,14 +34,14 @@ Vector restrict_to(const Vector& full, const std::vector<std::size_t>& ids) {
 Matrix extend_rows(const Matrix& x, const std::vector<std::size_t>& pos, std::size_t super_rows) {
   Matrix out(super_rows, x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i)
-    for (std::size_t j = 0; j < x.cols(); ++j) out(pos[i], j) = x(i, j);
+    std::copy(x.row_ptr(i), x.row_ptr(i) + x.cols(), out.row_ptr(pos[i]));
   return out;
 }
 
 Matrix restrict_rows(const Matrix& x, const std::vector<std::size_t>& pos) {
   Matrix out(pos.size(), x.cols());
   for (std::size_t i = 0; i < pos.size(); ++i)
-    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = x(pos[i], j);
+    std::copy(x.row_ptr(pos[i]), x.row_ptr(pos[i]) + x.cols(), out.row_ptr(i));
   return out;
 }
 
@@ -183,7 +183,8 @@ std::map<SquareId, RowBasisRep::ResponseBlocks> RowBasisRep::split_responses(
     const Matrix& vp = reps_.at(it.p).v;
     if (vp.cols() > 0) {
       it.c = matmul_tn(vp, xp);
-      it.o = xp - matmul(vp, it.c);
+      it.o = xp;
+      matmul_add(it.o, vp, it.c, -1.0);  // o = x_p - V_p c, no product temporary
     } else {
       it.c = Matrix(0, x.cols());
       it.o = xp;
@@ -401,8 +402,8 @@ void RowBasisRep::build_finest(const SubstrateSolver& solver) {
                                                     positions_in(contacts(q), contacts(qc)))
                                     : wblock_coarse;
       Matrix g(contacts(q).size(), contacts(s).size());
-      if (v.cols() > 0) g += matmul_nt(reps_.at(s).response.at(q), v);
-      if (w.cols() > 0) g += matmul_nt(gw, w);
+      if (v.cols() > 0) matmul_nt_add(g, reps_.at(s).response.at(q), v);
+      if (w.cols() > 0) matmul_nt_add(g, gw, w);
       finest_g_.emplace(std::make_pair(q, s), std::move(g));
     }
   }

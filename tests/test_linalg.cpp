@@ -11,6 +11,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace subspar {
@@ -97,6 +98,94 @@ TEST(Matrix, HcatWithEmptyOperand) {
   Matrix empty(3, 0);
   EXPECT_EQ(Matrix::hcat(a, empty).cols(), 2u);
   EXPECT_EQ(Matrix::hcat(empty, a).cols(), 2u);
+}
+
+// ----------------------------------------------------- blocked dense kernels
+
+// Plain triple-loop reference the blocked kernels are validated against.
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+TEST(DenseKernels, BlockedMatmulMatchesNaiveAcrossShapes) {
+  // Rectangular shapes straddling the tile (64), micro-kernel (4x8), and
+  // packing-slice (256) boundaries, plus degenerate thin cases.
+  const std::size_t shapes[][3] = {{67, 45, 130}, {64, 64, 64},  {65, 63, 9},
+                                   {4, 300, 4},   {1, 520, 1},   {129, 257, 66},
+                                   {16, 1024, 16}, {3, 2, 500}};
+  Rng rng(50);
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    const Matrix ref = ref_matmul(a, b);
+    const double tol = 1e-12 * static_cast<double>(k);
+    EXPECT_LT(max_abs_diff(matmul(a, b), ref), tol) << m << "x" << k << "x" << n;
+    EXPECT_LT(max_abs_diff(matmul_tn(a.transposed(), b), ref), tol);
+    EXPECT_LT(max_abs_diff(matmul_nt(a, b.transposed()), ref), tol);
+  }
+}
+
+TEST(DenseKernels, AccumulateVariantsMatchExpandedForm) {
+  Rng rng(51);
+  const Matrix a = random_matrix(70, 90, rng);
+  const Matrix b = random_matrix(90, 50, rng);
+  const Matrix c0 = random_matrix(70, 50, rng);
+  for (const double alpha : {1.0, -1.0, 2.5}) {
+    Matrix c = c0;
+    matmul_add(c, a, b, alpha);
+    EXPECT_LT(max_abs_diff(c, c0 + alpha * matmul(a, b)), 1e-10);
+    Matrix ct = random_matrix(90, 50, rng);
+    const Matrix ct0 = ct;
+    matmul_tn_add(ct, a, matmul(a, b), alpha);  // a' (a b): 90 x 50
+    EXPECT_LT(max_abs_diff(ct, ct0 + alpha * matmul_tn(a, matmul(a, b))), 1e-9);
+    Matrix cn = c0;
+    matmul_nt_add(cn, a, b.transposed(), alpha);
+    EXPECT_LT(max_abs_diff(cn, c0 + alpha * matmul_nt(a, b.transposed())), 1e-10);
+  }
+}
+
+TEST(DenseKernels, GramTnExactlySymmetricAndMatchesTn) {
+  Rng rng(52);
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{150, 90}, {10, 6}}) {
+    const Matrix a = random_matrix(m, n, rng);
+    const Matrix g = gram_tn(a);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) ASSERT_EQ(g(i, j), g(j, i));
+    EXPECT_LT(max_abs_diff(g, matmul_tn(a, a)), 1e-11 * static_cast<double>(m));
+  }
+}
+
+TEST(DenseKernels, BlockedTransposeMatchesElementwise) {
+  Rng rng(53);
+  const Matrix a = random_matrix(101, 37, rng);
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 37u);
+  ASSERT_EQ(t.cols(), 101u);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) ASSERT_EQ(t(j, i), a(i, j));
+}
+
+TEST(DenseKernels, TiledProductsBitIdenticalAcrossThreadCounts) {
+  Rng rng(54);
+  const Matrix a = random_matrix(150, 170, rng);
+  const Matrix b = random_matrix(170, 140, rng);
+  set_thread_count(1);
+  const Matrix c1 = matmul(a, b);
+  const Matrix g1 = gram_tn(a);
+  set_thread_count(4);
+  const Matrix c4 = matmul(a, b);
+  const Matrix g4 = gram_tn(a);
+  set_thread_count(1);
+  EXPECT_EQ(max_abs_diff(c1, c4), 0.0);
+  EXPECT_EQ(max_abs_diff(g1, g4), 0.0);
 }
 
 // ---------------------------------------------------------------- cholesky
@@ -228,6 +317,47 @@ TEST(Svd, NumericalRankOfZeroMatrix) {
   EXPECT_EQ(numerical_rank(s.sigma, 1e-2), 0u);
 }
 
+// ------------------------------------------------ QR-preconditioned SVD
+
+TEST(Svd, QrPreconditionedMatchesJacobiOnTallMatrix) {
+  Rng rng(60);
+  const Matrix a = random_matrix(200, 24, rng);  // m >= 2n: QR path engaged
+  const Svd fast = svd(a);
+  const Svd ref = svd_jacobi(a);
+  for (std::size_t j = 0; j < ref.sigma.size(); ++j)
+    EXPECT_NEAR(fast.sigma[j], ref.sigma[j], 1e-12 * ref.sigma[0]);
+  EXPECT_LT(max_abs_diff(matmul_tn(fast.u, fast.u), Matrix::identity(24)), 1e-10);
+  EXPECT_LT(max_abs_diff(matmul_tn(fast.v, fast.v), Matrix::identity(24)), 1e-10);
+  // U Sigma V' reconstructs A.
+  Matrix us = fast.u;
+  for (std::size_t i = 0; i < us.rows(); ++i)
+    for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= fast.sigma[j];
+  EXPECT_LT(max_abs_diff(matmul_nt(us, fast.v), a), 1e-10);
+}
+
+TEST(Svd, QrPreconditionedMatchesJacobiOnWideMatrix) {
+  Rng rng(61);
+  const Matrix a = random_matrix(20, 170, rng);  // transposed tall path
+  const Svd fast = svd(a);
+  const Svd ref = svd_jacobi(a);
+  for (std::size_t j = 0; j < ref.sigma.size(); ++j)
+    EXPECT_NEAR(fast.sigma[j], ref.sigma[j], 1e-12 * ref.sigma[0]);
+  Matrix us = fast.u;
+  for (std::size_t i = 0; i < us.rows(); ++i)
+    for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= fast.sigma[j];
+  EXPECT_LT(max_abs_diff(matmul_nt(us, fast.v), a), 1e-10);
+}
+
+TEST(Svd, QrPreconditionedDetectsRankDeficiency) {
+  Rng rng(62);
+  // Rank-5 tall matrix: 10 columns built from 5 independent ones.
+  const Matrix base = random_matrix(300, 5, rng);
+  const Matrix mix = random_matrix(5, 10, rng);
+  const Matrix a = matmul(base, mix);
+  const Svd s = svd(a);
+  EXPECT_EQ(numerical_rank(s.sigma, 1e-10), 5u);
+}
+
 // ---------------------------------------------------------------- eig
 
 TEST(EigSym, DiagonalizesAndIsOrthogonal) {
@@ -307,6 +437,33 @@ TEST(Pcg, ZeroRhsReturnsZero) {
   EXPECT_TRUE(st.converged);
   EXPECT_EQ(st.iterations, 0u);
   EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(PcgBlock, SolvesAllColumnsWithDeflation) {
+  // Columns that converge at very different rates (an eigenvector RHS
+  // converges in one iteration and then must be deflated out of the block)
+  // plus an exact duplicate column; every column must still match the
+  // direct solve.
+  Rng rng(55);
+  const Matrix a = random_spd(40, rng);
+  const EigSym e = eig_sym(a);
+  Matrix b(40, 5);
+  b.set_col(0, e.vectors.col(0));            // converges immediately
+  b.set_col(1, random_matrix(40, 1, rng).col(0));
+  b.set_col(2, b.col(1));                    // duplicate: degenerate Gram
+  b.set_col(3, random_matrix(40, 1, rng).col(0));
+  // Column 4 stays zero: must solve to zero without breaking SPD solves.
+  BlockIterStats st;
+  const Matrix x = pcg_block([&](const Matrix& p) { return matmul(a, p); }, b,
+                             {.rel_tol = 1e-9, .max_iterations = 300}, &st);
+  EXPECT_TRUE(st.converged);
+  const Cholesky chol(a);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const Vector xj = x.col(j);
+    const Vector ref = chol.solve(b.col(j));
+    EXPECT_LT(norm2(xj - ref), 1e-8 * (1.0 + norm2(ref))) << "column " << j;
+  }
+  EXPECT_DOUBLE_EQ(norm2(x.col(4)), 0.0);
 }
 
 TEST(Gmres, SolvesNonsymmetricSystem) {
