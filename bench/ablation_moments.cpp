@@ -4,7 +4,6 @@
 // layout where wavelets work (regular) and one where they fail
 // (alternating sizes).
 #include "common.hpp"
-#include "geometry/moments.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;
@@ -12,19 +11,18 @@ using namespace subspar::bench;
 namespace {
 
 void sweep(const char* name, const Layout& layout) {
-  const SurfaceSolver solver(layout, bench_stack());
-  const QuadTree tree(layout);
-  const Matrix g = extract_dense(solver);
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+  const Extractor engine(*solver, layout);
+  const Matrix g = extract_dense(*solver);
   std::printf("-- %s (n = %zu) --\n", name, layout.n_contacts());
   Table table({"p", "moments", "max rel err", "frac > 10%", "sparsity G_ws", "solves"});
   for (const int p : {0, 1, 2, 3}) {
-    const WaveletBasis basis(tree, p);
-    solver.reset_solve_count();
-    const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
-    const ErrorStats err = reconstruction_error(basis.q(), ex.gws, g);
+    const ExtractionResult r =
+        engine.extract({.method = SparsifyMethod::kWavelet, .moment_order = p});
+    const ErrorStats err = reconstruction_error(r.model.q(), r.model.gw(), g);
     table.add_row({std::to_string(p), std::to_string(moment_count(p)),
                    Table::pct(err.max_rel_error, 2), Table::pct(err.frac_above_10pct, 2),
-                   Table::fixed(ex.gws.sparsity_factor(), 2), std::to_string(ex.solves)});
+                   Table::fixed(r.report.gw_sparsity, 2), std::to_string(r.report.solves)});
   }
   std::printf("%s\n", table.str().c_str());
 }

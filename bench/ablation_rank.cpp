@@ -13,22 +13,21 @@ using namespace subspar::bench;
 int main(int argc, char** argv) {
   (void)full_mode(argc, argv);
   const Layout layout = alternating_size_layout(16);  // n = 256 keeps the sweep cheap
-  const SurfaceSolver solver(layout, bench_stack());
-  const QuadTree tree(layout);
-  const Matrix g = extract_dense(solver);
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+  const Extractor engine(*solver, layout);
+  const Matrix g = extract_dense(*solver);
   std::printf("Ablation — row-basis truncation on the alternating-size layout (n = %zu)\n\n",
               layout.n_contacts());
 
   Table table({"sigma tol", "rank cap", "max rel err", "frac > 10%", "sparsity", "solves"});
   for (const double tol : {1e-2, 1e-3, 1e-4, 1e-6}) {
     for (const std::size_t cap : {std::size_t{4}, std::size_t{6}, std::size_t{8}}) {
-      solver.reset_solve_count();
-      const LowRankExtraction ex =
-          lowrank_extract(solver, tree, {.sigma_rel_tol = tol, .max_rank = cap});
-      const ErrorStats err = reconstruction_error(ex.basis->q(), ex.gw, g);
+      const ExtractionResult r =
+          engine.extract({.lowrank = {.sigma_rel_tol = tol, .max_rank = cap}});
+      const ErrorStats err = reconstruction_error(r.model.q(), r.model.gw(), g);
       table.add_row({Table::num(tol, 1), std::to_string(cap),
                      Table::pct(err.max_rel_error, 1), Table::pct(err.frac_above_10pct, 2),
-                     Table::fixed(ex.gw.sparsity_factor(), 2), std::to_string(ex.solves)});
+                     Table::fixed(r.report.gw_sparsity, 2), std::to_string(r.report.solves)});
     }
   }
   std::printf("%s\n", table.str().c_str());

@@ -11,20 +11,7 @@
 #include <cstring>
 #include <string>
 
-#include "core/report.hpp"
-#include "geometry/layout_gen.hpp"
-#include "geometry/quadtree.hpp"
-#include "lowrank/extract.hpp"
-#include "substrate/eigen_solver.hpp"
-#include "substrate/fd_solver.hpp"
-#include "substrate/solver.hpp"
-#include "substrate/stack.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-#include "wavelet/basis.hpp"
-#include "wavelet/extract.hpp"
-#include "wavelet/pattern.hpp"
+#include "subspar/subspar.hpp"
 
 namespace subspar::bench {
 
@@ -101,43 +88,40 @@ inline ExactColumns exact_columns(const SubstrateSolver& solver, double sample_f
   return out;
 }
 
+/// One unthresholded extraction through the public pipeline, scored plain
+/// and after ~threshold_multiple x thresholding (both tables come from the
+/// same O(log n) solves, so the threshold is applied here, not re-requested).
+inline MethodRow run_request(const SubstrateSolver& solver, const QuadTree& tree,
+                             const ExactColumns& exact, double threshold_multiple,
+                             const ExtractionRequest& request) {
+  MethodRow row;
+  solver.reset_solve_count();
+  const ExtractionResult extracted = Extractor(solver, tree).extract(request);
+  const SparsifiedModel& model = extracted.model;
+  row.seconds = extracted.report.seconds;
+  row.solves = extracted.report.solves;
+  row.solve_reduction = extracted.report.solve_reduction;
+  row.sparsity = extracted.report.gw_sparsity;
+  row.q_sparsity = extracted.report.q_sparsity;
+  row.error = reconstruction_error(model.q(), model.gw(), exact.g, exact.ids);
+  const SparseMatrix gwt = threshold_to_nnz(
+      model.gw(),
+      static_cast<std::size_t>(static_cast<double>(model.gw().nnz()) / threshold_multiple));
+  row.threshold_sparsity = gwt.sparsity_factor();
+  row.threshold_error = reconstruction_error(model.q(), gwt, exact.g, exact.ids);
+  return row;
+}
+
 inline MethodRow run_wavelet(const SubstrateSolver& solver, const QuadTree& tree,
                              const ExactColumns& exact, double threshold_multiple) {
-  MethodRow row;
-  Timer t;
-  const WaveletBasis basis(tree);
-  solver.reset_solve_count();
-  const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
-  row.seconds = t.seconds();
-  row.solves = ex.solves;
-  row.solve_reduction = static_cast<double>(solver.n_contacts()) / static_cast<double>(ex.solves);
-  row.sparsity = ex.gws.sparsity_factor();
-  row.q_sparsity = basis.q().sparsity_factor();
-  row.error = reconstruction_error(basis.q(), ex.gws, exact.g, exact.ids);
-  const SparseMatrix gwt = threshold_to_nnz(
-      ex.gws, static_cast<std::size_t>(static_cast<double>(ex.gws.nnz()) / threshold_multiple));
-  row.threshold_sparsity = gwt.sparsity_factor();
-  row.threshold_error = reconstruction_error(basis.q(), gwt, exact.g, exact.ids);
-  return row;
+  return run_request(solver, tree, exact, threshold_multiple,
+                     {.method = SparsifyMethod::kWavelet});
 }
 
 inline MethodRow run_lowrank(const SubstrateSolver& solver, const QuadTree& tree,
                              const ExactColumns& exact, double threshold_multiple) {
-  MethodRow row;
-  Timer t;
-  solver.reset_solve_count();
-  const LowRankExtraction ex = lowrank_extract(solver, tree);
-  row.seconds = t.seconds();
-  row.solves = ex.solves;
-  row.solve_reduction = static_cast<double>(solver.n_contacts()) / static_cast<double>(ex.solves);
-  row.sparsity = ex.gw.sparsity_factor();
-  row.q_sparsity = ex.basis->q().sparsity_factor();
-  row.error = reconstruction_error(ex.basis->q(), ex.gw, exact.g, exact.ids);
-  const SparseMatrix gwt = threshold_to_nnz(
-      ex.gw, static_cast<std::size_t>(static_cast<double>(ex.gw.nnz()) / threshold_multiple));
-  row.threshold_sparsity = gwt.sparsity_factor();
-  row.threshold_error = reconstruction_error(ex.basis->q(), gwt, exact.g, exact.ids);
-  return row;
+  return run_request(solver, tree, exact, threshold_multiple,
+                     {.method = SparsifyMethod::kLowRank});
 }
 
 }  // namespace subspar::bench

@@ -5,7 +5,6 @@
 #include <filesystem>
 
 #include "common.hpp"
-#include "util/plot.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;
@@ -28,21 +27,21 @@ int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
   std::filesystem::create_directories("bench_output");
   const Layout layout = example_irregular(full);
-  const SurfaceSolver solver(layout, bench_stack());
-  const QuadTree tree(layout);
-  const WaveletBasis basis(tree);
-  const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+  const ExtractionResult r =
+      Extractor(*solver, layout).extract({.method = SparsifyMethod::kWavelet});
+  const SparseMatrix& gws = r.model.gw();
 
   std::printf("Fig. 3-9 — spy plot of G_ws for Example 2 (n = %zu)\n", layout.n_contacts());
   std::printf("expected shape: diagonal ray of same-level interactions, dense\n"
               "rays along the top/left from the coarsest-level vectors, and\n"
               "off-ray blocks from cross-level neighbor squares (§3.7.1)\n\n");
-  spy("fig_3_9", ex.gws);
+  spy("fig_3_9", gws);
 
   std::printf("Fig. 3-10 — spy plot after ~6x thresholding\n\n");
-  const SparseMatrix gwt = threshold_to_nnz(ex.gws, ex.gws.nnz() / 6);
+  const SparseMatrix gwt = threshold_to_nnz(gws, gws.nnz() / 6);
   spy("fig_3_10", gwt);
   std::printf("sparsity: G_ws %.1f -> G_wt %.1f (paper: 3.5 -> 20.6)\n",
-              ex.gws.sparsity_factor(), gwt.sparsity_factor());
+              gws.sparsity_factor(), gwt.sparsity_factor());
   return 0;
 }

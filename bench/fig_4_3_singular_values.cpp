@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common.hpp"
-#include "linalg/svd.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;
@@ -24,13 +23,13 @@ int main() {
   // ---- Fig. 4-3: sigma decay for a level-2 square of the regular grid.
   const Layout layout = regular_grid_layout(32);  // 1024 contacts
   const QuadTree tree(layout);
-  const SurfaceSolver solver(layout, bench_stack());
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
 
   const SquareId s{2, 0, 0};
   const SquareId d{2, 3, 1};  // interactive to s
   const auto& cs = tree.contacts_in(s);
   const auto& cd = tree.contacts_in(d);
-  const Matrix g_cols = extract_columns(solver, cs);  // 64 solves
+  const Matrix g_cols = extract_columns(*solver, cs);  // 64 solves
   const Svd self = svd(block_from_columns(g_cols, cs));
   const Svd far = svd(block_from_columns(g_cols, cd));
 
@@ -48,8 +47,8 @@ int main() {
 
   // ---- §4.1 vignette on the Fig. 4-1 layout.
   const Layout six = simple_six_layout();
-  const SurfaceSolver ssix(six, bench_stack());
-  const Matrix gsix_cols = extract_columns(ssix, {0, 1});
+  const auto ssix = make_solver(SolverKind::kSurface, six, bench_stack());
+  const Matrix gsix_cols = extract_columns(*ssix, {0, 1});
   const std::vector<std::size_t> dst{2, 3, 4, 5};
   const Matrix gds = block_from_columns(gsix_cols, dst);
   const Svd dec = svd(gds);
@@ -63,7 +62,7 @@ int main() {
   Vector drive(six.n_contacts());
   drive[0] = dec.v(0, 1);
   drive[1] = dec.v(1, 1);
-  const Vector resp = ssix.solve(drive);
+  const Vector resp = ssix->solve(drive);
   std::printf("response at contacts 3..6 to the trailing right singular vector:\n  ");
   for (const std::size_t k : dst) std::printf("% .2e  ", resp[k]);
   std::printf("\n(expected: near zero — the SVD finds the basis function with\n"

@@ -3,7 +3,6 @@
 #include <filesystem>
 
 #include "common.hpp"
-#include "util/plot.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;
@@ -28,24 +27,22 @@ int main(int argc, char** argv) {
 
   {
     const Layout layout = example_shapes(full);
-    const SurfaceSolver solver(layout, bench_stack());
-    const QuadTree tree(layout);
-    const LowRankExtraction ex = lowrank_extract(solver, tree);
-    const SparseMatrix gwt = threshold_to_nnz(ex.gw, ex.gw.nnz() / 6);
+    const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+    const ExtractionResult r = Extractor(*solver, layout).extract();
+    const SparseMatrix gwt = threshold_to_nnz(r.model.gw(), r.model.gw().nnz() / 6);
     std::printf("Fig. 4-9 — spy plot of thresholded G_wt, mixed-shapes example\n");
     std::printf("(n = %zu, solves = %ld, sparsity %.1f -> %.1f)\n\n", layout.n_contacts(),
-                ex.solves, ex.gw.sparsity_factor(), gwt.sparsity_factor());
+                r.report.solves, r.report.gw_sparsity, gwt.sparsity_factor());
     spy("fig_4_9", gwt);
   }
   {
     const Layout layout = example_5_large_mixed(full);
-    const SurfaceSolver solver(layout, bench_stack());
-    const QuadTree tree(layout);
-    const LowRankExtraction ex = lowrank_extract(solver, tree);
+    const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+    const ExtractionResult r = Extractor(*solver, layout).extract();
     std::printf("Fig. 4-11 — spy plot of G_w, large mixed-field example\n");
-    std::printf("(n = %zu, solves = %ld, sparsity %.1f)\n\n", layout.n_contacts(), ex.solves,
-                ex.gw.sparsity_factor());
-    spy("fig_4_11", ex.gw);
+    std::printf("(n = %zu, solves = %ld, sparsity %.1f)\n\n", layout.n_contacts(),
+                r.report.solves, r.report.gw_sparsity);
+    spy("fig_4_11", r.model.gw());
   }
   std::printf("expected shape: block diagonal rays from same-level local\n"
               "interactions plus dense level-2 leftover rows/columns.\n");

@@ -3,7 +3,6 @@
 #include <filesystem>
 
 #include "common.hpp"
-#include "util/plot.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;

@@ -5,10 +5,6 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
-#include "linalg/svd.hpp"
-#include "transform/dct.hpp"
-#include "transform/fft.hpp"
-#include "transform/poisson.hpp"
 
 using namespace subspar;
 using namespace subspar::bench;
@@ -174,7 +170,7 @@ BENCHMARK(BM_FastPoissonSolve);
 
 struct SolveFixtureState {
   Layout layout = regular_grid_layout(16);
-  SurfaceSolver solver{layout, bench_stack()};
+  std::unique_ptr<SubstrateSolver> solver = make_solver(SolverKind::kSurface, layout, bench_stack());
 };
 
 void BM_SurfaceSolve(benchmark::State& state) {
@@ -183,7 +179,7 @@ void BM_SurfaceSolve(benchmark::State& state) {
   Vector v(fx.layout.n_contacts());
   for (auto& x : v) x = rng.normal();
   for (auto _ : state) {
-    const Vector i = fx.solver.solve(v);
+    const Vector i = fx.solver->solve(v);
     benchmark::DoNotOptimize(i[0]);
   }
 }
@@ -200,7 +196,7 @@ void BM_BatchedSolve(benchmark::State& state) {
   for (std::size_t i = 0; i < v.rows(); ++i)
     for (std::size_t j = 0; j < v.cols(); ++j) v(i, j) = rng.normal();
   for (auto _ : state) {
-    const Matrix i = fx.solver.solve_many(v);
+    const Matrix i = fx.solver->solve_many(v);
     benchmark::DoNotOptimize(i(0, 0));
   }
   state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
@@ -210,7 +206,7 @@ BENCHMARK(BM_BatchedSolve)->Arg(4)->Arg(16);
 void BM_RowBasisApply(benchmark::State& state) {
   static SolveFixtureState fx;
   static const QuadTree tree(fx.layout);
-  static const RowBasisRep rep(fx.solver, tree);
+  static const RowBasisRep rep(*fx.solver, tree);
   Rng rng(6);
   Vector v(fx.layout.n_contacts());
   for (auto& x : v) x = rng.normal();

@@ -48,11 +48,12 @@ int main(int argc, char** argv) {
   }
 
   for (const Row& row : rows) {
-    const FdSolver solver(layout, stack, {.grid_h = 2.0, .precond = row.kind});
+    const auto solver = make_solver(SolverKind::kFd, layout, stack,
+                                    {.fd = {.grid_h = 2.0, .precond = row.kind}});
     Timer t;
-    for (const Vector& v : workload) solver.solve(v);
+    for (const Vector& v : workload) solver->solve(v);
     const double per_solve = 1e3 * t.seconds() / static_cast<double>(workload.size());
-    table.add_row({row.name, Table::fixed(solver.avg_iterations(), 1),
+    table.add_row({row.name, Table::fixed(dynamic_cast<const FdSolver&>(*solver).avg_iterations(), 1),
                    Table::fixed(per_solve, 1),
                    row.paper < 0 ? "-" : Table::fixed(row.paper, 1)});
   }

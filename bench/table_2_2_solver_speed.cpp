@@ -15,8 +15,11 @@ int main(int argc, char** argv) {
   std::printf("Table 2.2 — solve speed, FD vs eigenfunction (%zu contacts)\n\n",
               layout.n_contacts());
 
-  const SurfaceSolver eigen(layout, bench_stack());
-  const FdSolver fd(layout, bench_stack_fd(), {.grid_h = 2.0});
+  const auto eigen_solver = make_solver(SolverKind::kSurface, layout, bench_stack());
+  const auto fd_solver =
+      make_solver(SolverKind::kFd, layout, bench_stack_fd(), {.fd = {.grid_h = 2.0}});
+  const auto& eigen = dynamic_cast<const SurfaceSolver&>(*eigen_solver);
+  const auto& fd = dynamic_cast<const FdSolver&>(*fd_solver);
 
   Rng rng(3);
   std::vector<Vector> workload;

@@ -44,23 +44,24 @@ int main(int argc, char** argv) {
 
   {
     const Layout l = example_regular(full);
-    const SurfaceSolver s(l, bench_stack());
-    run("1a regular (IE)", "2.5 / 0.2% / 15.3 / 0.1%", l, s, table);
+    const auto s = make_solver(SolverKind::kSurface, l, bench_stack());
+    run("1a regular (IE)", "2.5 / 0.2% / 15.3 / 0.1%", l, *s, table);
   }
   {
     const Layout l = example_regular_fd(full);
-    const FdSolver s(l, bench_stack_fd(), {.grid_h = 2.0});
-    run("1b regular (FD)", "2.5 / 0.2% / 15.4 / 5.2%", l, s, table);
+    const auto s =
+        make_solver(SolverKind::kFd, l, bench_stack_fd(), {.fd = {.grid_h = 2.0}});
+    run("1b regular (FD)", "2.5 / 0.2% / 15.4 / 5.2%", l, *s, table);
   }
   {
     const Layout l = example_irregular(full);
-    const SurfaceSolver s(l, bench_stack());
-    run("2  irregular", "3.5 / 0.2% / 20.6 / 1.1%", l, s, table);
+    const auto s = make_solver(SolverKind::kSurface, l, bench_stack());
+    run("2  irregular", "3.5 / 0.2% / 20.6 / 1.1%", l, *s, table);
   }
   {
     const Layout l = example_alternating(full);
-    const SurfaceSolver s(l, bench_stack());
-    run("3  alternating", "2.5 /  47% / 15.3 /  80%", l, s, table);
+    const auto s = make_solver(SolverKind::kSurface, l, bench_stack());
+    run("3  alternating", "2.5 /  47% / 15.3 /  80%", l, *s, table);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("expected shape: accurate on 1a/1b/2, large errors on the\n"

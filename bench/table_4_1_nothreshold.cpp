@@ -17,11 +17,11 @@ using namespace subspar::bench;
 namespace {
 
 void run(const char* name, const char* paper, const Layout& layout, Table& table) {
-  const SurfaceSolver solver(layout, bench_stack());
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
   const QuadTree tree(layout);
-  const ExactColumns exact = exact_columns(solver, 1.0);
-  const MethodRow lr = run_lowrank(solver, tree, exact, 6.0);
-  const MethodRow wv = run_wavelet(solver, tree, exact, 6.0);
+  const ExactColumns exact = exact_columns(*solver, 1.0);
+  const MethodRow lr = run_lowrank(*solver, tree, exact, 6.0);
+  const MethodRow wv = run_wavelet(*solver, tree, exact, 6.0);
   table.add_row({name, std::to_string(layout.n_contacts()), Table::fixed(lr.sparsity, 1),
                  Table::fixed(wv.sparsity, 1),
                  Table::pct(lr.error.max_rel_error_significant, 1),

@@ -18,25 +18,24 @@ using namespace subspar::bench;
 namespace {
 
 void run(const char* name, const char* paper, const Layout& layout, Table& table) {
-  const SurfaceSolver solver(layout, bench_stack());
+  const auto solver = make_solver(SolverKind::kSurface, layout, bench_stack());
   const QuadTree tree(layout);
-  const ExactColumns exact = exact_columns(solver, 1.0);
+  const Extractor engine(*solver, tree);
+  const ExactColumns exact = exact_columns(*solver, 1.0);
 
   // Low-rank, thresholded to ~6x its unthresholded sparsity (§4.6).
-  const MethodRow lr = run_lowrank(solver, tree, exact, 6.0);
+  const MethodRow lr = run_lowrank(*solver, tree, exact, 6.0);
 
   // Wavelet thresholded to the same *absolute* sparsity as the low-rank
   // G_wt (equal-sparsity comparison).
-  const WaveletBasis wbasis(tree);
-  solver.reset_solve_count();
-  const WaveletExtraction wex = wavelet_extract_combined(solver, wbasis);
+  const ExtractionResult wr = engine.extract({.method = SparsifyMethod::kWavelet});
   const double target_sparsity = lr.threshold_sparsity;
   const auto target_nnz = static_cast<std::size_t>(
       static_cast<double>(layout.n_contacts()) * static_cast<double>(layout.n_contacts()) /
       target_sparsity);
-  const SparseMatrix wt = threshold_to_nnz(wex.gws, target_nnz);
-  const ErrorStats werr = reconstruction_error(wbasis.q(), wt, exact.g, exact.ids);
-  const bool wavelet_could_not_match = wex.gws.nnz() <= target_nnz;
+  const SparseMatrix wt = threshold_to_nnz(wr.model.gw(), target_nnz);
+  const ErrorStats werr = reconstruction_error(wr.model.q(), wt, exact.g, exact.ids);
+  const bool wavelet_could_not_match = wr.model.gw().nnz() <= target_nnz;
 
   table.add_row({name, std::to_string(layout.n_contacts()),
                  Table::fixed(lr.threshold_sparsity, 1),

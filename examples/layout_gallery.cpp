@@ -4,8 +4,7 @@
 #include <cstdio>
 #include <string>
 
-#include "geometry/layout_gen.hpp"
-#include "geometry/quadtree.hpp"
+#include "subspar/geometry.hpp"
 
 using namespace subspar;
 

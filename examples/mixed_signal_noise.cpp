@@ -7,11 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/extractor.hpp"
-#include "geometry/layout.hpp"
-#include "substrate/eigen_solver.hpp"
-#include "substrate/stack.hpp"
-#include "util/rng.hpp"
+#include "subspar/subspar.hpp"
 
 using namespace subspar;
 
@@ -84,11 +80,11 @@ int main() {
     double rms_without = 0.0, rms_with = 0.0;
     for (const bool with_guard : {false, true}) {
       const Chip chip = build_chip(with_guard);
-      const SurfaceSolver solver(chip.layout, sub.stack);
-      const QuadTree tree(chip.layout);
-      const SparsifiedModel model = extract_sparsified(solver, tree);
+      const auto solver = make_solver(SolverKind::kSurface, chip.layout, sub.stack);
+      const ExtractionResult extracted = Extractor(*solver, chip.layout).extract();
+      const SparsifiedModel& model = extracted.model;
       std::printf("%-13s n=%zu  %s\n", with_guard ? "with guard:" : "no guard:",
-                  chip.layout.n_contacts(), model.summary().c_str());
+                  chip.layout.n_contacts(), extracted.report.summary().c_str());
 
       // One-time extraction, then many cheap switching-pattern evaluations.
       Rng pat(99);
@@ -108,7 +104,7 @@ int main() {
       Vector dp(chip.digital.size(), 0.9);
       Vector v(chip.layout.n_contacts());
       for (std::size_t k = 0; k < chip.digital.size(); ++k) v[chip.digital[k]] = dp[k];
-      const Vector exact = solver.solve(v);
+      const Vector exact = solver->solve(v);
       const Vector fast = model.apply(v);
       double emax = 0.0;
       for (const std::size_t a : chip.analog)

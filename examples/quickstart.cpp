@@ -1,15 +1,14 @@
-// Quickstart: extract a sparse substrate-coupling model and use it.
+// Quickstart: extract a sparse substrate-coupling model and use it —
+// entirely through the public API (include/subspar/subspar.hpp).
 //
 // Builds the paper's layered substrate, a 16x16 grid of contacts, runs the
 // low-rank sparsification (Chapter 4) against the eigenfunction black-box
-// solver (Chapter 2), and checks the sparse model against exact solves.
+// solver (Chapter 2) through the ExtractionRequest -> ExtractionResult
+// pipeline, checks the sparse model against exact solves, and shows the
+// ModelCache serving a repeat request for zero additional solves.
 #include <cstdio>
 
-#include "core/extractor.hpp"
-#include "geometry/layout_gen.hpp"
-#include "substrate/eigen_solver.hpp"
-#include "substrate/stack.hpp"
-#include "util/rng.hpp"
+#include "subspar/subspar.hpp"
 
 using namespace subspar;
 
@@ -21,14 +20,18 @@ int main() {
   std::printf("layout: %zu contacts on a %zux%zu panel grid\n", layout.n_contacts(),
               layout.panels_x(), layout.panels_y());
 
-  // 2. Any black-box solver works; here the eigenfunction (DCT) solver.
-  const SurfaceSolver solver(layout, stack);
+  // 2. Any black-box solver works; the registry names the discretizations
+  //    (here the eigenfunction/DCT solver) behind one interface.
+  const auto solver = make_solver(SolverKind::kSurface, layout, stack);
 
-  // 3. Sparsify. The quadtree supplies the multilevel square hierarchy.
-  const QuadTree tree(layout);
-  const SparsifiedModel model = extract_sparsified(
-      solver, tree,
-      {.method = SparsifyMethod::kLowRank, .threshold_sparsity_multiple = 6.0});
+  // 3. Sparsify through the pipeline: the Extractor owns the quadtree build,
+  //    validation, and method dispatch; the result carries the model plus a
+  //    structured report of what building it cost.
+  const Extractor engine(*solver, layout);
+  const ExtractionRequest request{.method = SparsifyMethod::kLowRank,
+                                  .threshold_sparsity_multiple = 6.0};
+  const ExtractionResult extracted = engine.extract(request);
+  const SparsifiedModel& model = extracted.model;
   std::printf("model: %s\n", model.summary().c_str());
 
   // 4. Use it: currents from voltages via three sparse products, validated
@@ -37,11 +40,21 @@ int main() {
   Vector voltages(layout.n_contacts());
   for (auto& v : voltages) v = rng.uniform(-0.5, 0.5);
   const Vector fast = model.apply(voltages);
-  const Vector exact = solver.solve(voltages);
+  const Vector exact = solver->solve(voltages);
   std::printf("apply check: |fast - exact| / |exact| = %.2e\n",
               norm2(fast - exact) / norm2(exact));
   std::printf("sample currents (contact 0, %zu): fast %.6f / %.6f, exact %.6f / %.6f\n",
               layout.n_contacts() / 2, fast[0], fast[layout.n_contacts() / 2], exact[0],
               exact[layout.n_contacts() / 2]);
+
+  // 5. Reuse it: an identical request through the ModelCache is a lookup,
+  //    not a re-extraction — zero additional black-box solves.
+  ModelCache cache;
+  cache.get_or_extract(*solver, layout, stack, request);  // miss: extracts once
+  const long solves_before_hit = solver->solve_count();
+  const ExtractionResult again = cache.get_or_extract(*solver, layout, stack, request);
+  std::printf("cache: repeat request consumed %ld solves (hit: %s)\n",
+              solver->solve_count() - solves_before_hit,
+              again.report.from_cache ? "yes" : "no");
   return 0;
 }

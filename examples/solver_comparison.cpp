@@ -4,11 +4,7 @@
 // Table 2.2, on a layout small enough to compare entry by entry.
 #include <cstdio>
 
-#include "geometry/layout_gen.hpp"
-#include "substrate/eigen_solver.hpp"
-#include "substrate/fd_solver.hpp"
-#include "substrate/solver.hpp"
-#include "util/timer.hpp"
+#include "subspar/subspar.hpp"
 
 using namespace subspar;
 
@@ -19,21 +15,25 @@ int main() {
   std::printf("layout: %zu contacts, substrate depth %.0f\n\n", layout.n_contacts(),
               stack.depth());
 
-  const SurfaceSolver eigen(layout, stack);
-  const FdSolver fd(layout, stack, {.grid_h = 1.0});
+  // Both discretizations come out of the same registry behind the black-box
+  // interface; the concrete types are only needed for iteration statistics.
+  const auto eigen = make_solver(SolverKind::kSurface, layout, stack);
+  const auto fd = make_solver(SolverKind::kFd, layout, stack, {.fd = {.grid_h = 1.0}});
+  const auto& eigen_stats = dynamic_cast<const SurfaceSolver&>(*eigen);
+  const auto& fd_stats = dynamic_cast<const FdSolver&>(*fd);
 
   Timer t;
-  const Matrix g_eigen = extract_dense(eigen);
+  const Matrix g_eigen = extract_dense(*eigen);
   const double t_eigen = t.seconds() / static_cast<double>(layout.n_contacts());
   t.reset();
-  const Matrix g_fd = extract_dense(fd);
+  const Matrix g_fd = extract_dense(*fd);
   const double t_fd = t.seconds() / static_cast<double>(layout.n_contacts());
 
   std::printf("%-18s %12s %12s %14s\n", "solver", "iters/solve", "time/solve", "unknowns");
-  std::printf("%-18s %12.1f %10.2f ms %14zu\n", "eigenfunction", eigen.avg_iterations(),
+  std::printf("%-18s %12.1f %10.2f ms %14zu\n", "eigenfunction", eigen_stats.avg_iterations(),
               1e3 * t_eigen, layout.panels_x() * layout.panels_y());
-  std::printf("%-18s %12.1f %10.2f ms %14zu\n\n", "finite-difference", fd.avg_iterations(),
-              1e3 * t_fd, fd.grid_nodes());
+  std::printf("%-18s %12.1f %10.2f ms %14zu\n\n", "finite-difference", fd_stats.avg_iterations(),
+              1e3 * t_fd, fd_stats.grid_nodes());
   std::printf("eigenfunction speedup: %.1fx (paper Table 2.2: ~10x)\n\n", t_fd / t_eigen);
 
   // Entry-by-entry agreement between the two independent discretizations.

@@ -11,12 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "circuit/netlist.hpp"
-#include "circuit/simulator.hpp"
-#include "core/extractor.hpp"
-#include "geometry/layout_gen.hpp"
-#include "substrate/eigen_solver.hpp"
-#include "substrate/stack.hpp"
+#include "subspar/subspar.hpp"
 
 using namespace subspar;
 
@@ -63,10 +58,10 @@ void oscillogram(const std::vector<double>& t, const std::vector<double>& v) {
 
 int main() {
   const Layout layout = regular_grid_layout(8);  // 64 contacts
-  const SurfaceSolver solver(layout, paper_stack());
-  const QuadTree tree(layout);
-  const SparsifiedModel model = extract_sparsified(solver, tree);
-  const Matrix g = extract_dense(solver);
+  const SubstrateStack stack = paper_stack();
+  const auto solver = make_solver(SolverKind::kSurface, layout, stack);
+  const SparsifiedModel model = Extractor(*solver, layout).extract().model;
+  const Matrix g = extract_dense(*solver);
   std::printf("substrate model: %s\n\n", model.summary().c_str());
 
   const std::size_t injector = 9, sensor = 54;  // opposite corners

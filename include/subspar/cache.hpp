@@ -1,0 +1,102 @@
+// Public header: the keyed model cache.
+//
+// "Extract once in O(log n) solves, then reuse the sparse model everywhere"
+// is the paper's whole value proposition; ModelCache makes the reuse a
+// first-class operation. Results are memoized under a content hash of
+// (solver cache_tag, layout, stack, request) — everything that determines
+// the extraction output — so a repeated request costs a map lookup and an
+// in-memory model copy (plus an apply at the call site) instead of a
+// re-extraction: zero black-box solves. With a persist
+// directory set, models additionally round-trip through the save_model /
+// load_model text format: a second process pays one file read, zero
+// black-box solves, and gets a bit-exact copy of the original model.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "subspar/extraction.hpp"
+#include "substrate/stack.hpp"
+
+namespace subspar {
+
+/// Hit/miss counters (hits include disk loads; disk_loads counts the subset
+/// of hits served from the persist directory rather than memory).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t disk_loads = 0;
+};
+
+/// Deterministic content hash (16 hex digits) of everything that determines
+/// an extraction: the layout (panel grid + contact rectangles), the stack
+/// (layers + backplane), the request (method, moment order, low-rank
+/// options incl. seed, threshold), and optionally a solver tag —
+/// ModelCache passes SubstrateSolver::cache_tag(), which digests the
+/// discretization, its construction options (grid spacing, wells,
+/// tolerances), and the fingerprint of the (layout, stack) the solver was
+/// actually built over. The last part double-binds the key: a call that
+/// passes a (layout, stack) different from the solver's construction inputs
+/// gets a key no consistent caller can collide with, instead of silently
+/// poisoning theirs. Endian-independent and stable across processes (it is
+/// the persist filename) — extend with care.
+std::string model_cache_key(const Layout& layout, const SubstrateStack& stack,
+                            const ExtractionRequest& request,
+                            const std::string& solver_tag = {});
+
+class ModelCache {
+ public:
+  /// In-memory cache only.
+  ModelCache() = default;
+  /// Also persists under `persist_dir` (created if absent) as
+  /// model-<key>.txt files via the core/io layer, and serves cold lookups
+  /// from there. An unreadable/corrupt file is treated as a miss and
+  /// overwritten by the fresh extraction.
+  explicit ModelCache(std::string persist_dir);
+
+  /// Returns the cached result for (solver.cache_tag(), layout, stack,
+  /// request), extracting and caching on a miss. Precondition: (layout,
+  /// stack) are the inputs `solver` was constructed over (n_contacts is
+  /// checked; a mismatched same-size stack only isolates — never poisons —
+  /// the key, see model_cache_key). Hits consume zero black-box solves and
+  /// return an in-memory copy of the model (O(nnz), no solver work); their
+  /// report has from_cache = true, solves = 0, and
+  /// seconds = the lookup cost. The cache's own state is mutex-protected,
+  /// but a miss runs the extraction through the caller's solver, whose
+  /// solve/iteration counters are not synchronized — concurrent calls must
+  /// use distinct solver instances (or an external lock per solver);
+  /// concurrent misses then both extract, with one result kept. A failed
+  /// persist write is swallowed (the fresh result is still returned and
+  /// cached in memory); a persisted file whose dimension does not match the
+  /// solver is treated as corrupt and re-extracted.
+  ExtractionResult get_or_extract(const SubstrateSolver& solver, const Layout& layout,
+                                  const SubstrateStack& stack,
+                                  const ExtractionRequest& request = {});
+
+  /// True when the key is resident in memory (does not consult the disk).
+  bool contains(const SubstrateSolver& solver, const Layout& layout,
+                const SubstrateStack& stack, const ExtractionRequest& request = {}) const;
+
+  /// Number of models resident in memory.
+  std::size_t size() const;
+  /// Drops the in-memory entries (persisted files are kept).
+  void clear();
+  CacheStats stats() const;
+  const std::string& persist_dir() const { return persist_dir_; }
+
+ private:
+  struct Entry {
+    SparsifiedModel model;  // hit reports are rebuilt from the model's metadata
+  };
+
+  std::string persist_path(const std::string& key) const;
+
+  std::string persist_dir_;
+  std::map<std::string, Entry> entries_;
+  CacheStats stats_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace subspar

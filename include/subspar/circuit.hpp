@@ -1,0 +1,7 @@
+// Public header: the small MNA circuit layer (netlist + transient simulator)
+// used to drop a sparsified substrate model into a circuit simulation
+// (§5.2 / the substrate_transient example).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "circuit/simulator.hpp"

@@ -1,0 +1,113 @@
+// Public header: the ExtractionRequest -> ExtractionResult pipeline.
+//
+// The Extractor owns everything between "here is a black-box solver over a
+// contact layout" and "here is a sparse substrate model plus a structured
+// account of what building it cost": option validation, the quadtree build,
+// method dispatch (wavelet / low-rank, optional thresholding), deterministic
+// seeding, per-phase timing, and an optional progress callback. Extract once
+// per (solver, layout); issue as many requests as needed — or put a
+// ModelCache (subspar/cache.hpp) in front so identical requests cost an
+// apply instead of a re-extraction.
+//
+// The seed-era free function `extract_sparsified` (subspar/model.hpp) now
+// delegates here and is deprecated.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "geometry/quadtree.hpp"
+#include "substrate/solver.hpp"
+
+namespace subspar {
+
+/// Invoked after each completed pipeline phase with the phase name and its
+/// wall-clock seconds. Phases run on the calling thread.
+using ProgressCallback = std::function<void(const std::string& phase, double seconds)>;
+
+/// Everything that determines an extraction, in one value. Field semantics
+/// match the deprecated ExtractorOptions; `progress` is observational only
+/// and excluded from cache keys.
+struct ExtractionRequest {
+  /// Which sparsification algorithm builds the change of basis Q.
+  SparsifyMethod method = SparsifyMethod::kLowRank;
+  /// Wavelet moment order (Chapter 3; the paper uses 2).
+  int moment_order = 2;
+  /// Low-rank options, including the deterministic sampling seed (Chapter 4).
+  LowRankOptions lowrank;
+  /// If > 1, additionally threshold G_w to ~this multiple of its
+  /// conservative sparsity factor (the paper uses 6; §3.7 / §4.6). 0 = off.
+  double threshold_sparsity_multiple = 0.0;
+  /// Optional per-phase progress notifications.
+  ProgressCallback progress;
+};
+
+/// Validates a request; throws std::invalid_argument naming the offending
+/// field. Called by Extractor::extract (and ModelCache) on every request.
+void validate(const ExtractionRequest& request);
+
+/// One completed pipeline phase.
+struct PhaseTiming {
+  std::string phase;
+  double seconds = 0.0;
+};
+
+/// Structured account of one extraction: what it cost and what it produced,
+/// replacing printf side channels. `solves`/`seconds` are the cost of *this
+/// request* (0 / lookup time for a cache hit); the sparsity and reduction
+/// ratios always describe the returned model.
+struct ExtractionReport {
+  std::size_t n = 0;             ///< model dimension (number of contacts)
+  long solves = 0;               ///< black-box solves consumed by this request
+  double seconds = 0.0;          ///< wall-clock seconds of this request
+  double gw_sparsity = 0.0;      ///< n^2 / nnz(G_w)
+  double q_sparsity = 0.0;       ///< n^2 / nnz(Q)
+  double solve_reduction = 0.0;  ///< n / solves that built the model
+  bool from_cache = false;       ///< true when served by a ModelCache hit
+  std::vector<PhaseTiming> phases;
+
+  /// One-line human-readable digest.
+  std::string summary() const;
+};
+
+/// The pipeline product: the model plus its report.
+struct ExtractionResult {
+  SparsifiedModel model;
+  ExtractionReport report;
+};
+
+/// The extraction engine. Binds a black-box solver to a contact hierarchy
+/// once (the quadtree build is shared by every request), then serves
+/// ExtractionRequests.
+class Extractor {
+ public:
+  /// Builds and owns the quadtree over `layout` (forwarding `max_level` to
+  /// QuadTree). The solver and layout must outlive the Extractor.
+  Extractor(const SubstrateSolver& solver, const Layout& layout, int max_level = -1);
+
+  /// Borrows an existing quadtree (no rebuild); it must outlive the
+  /// Extractor. This is the constructor the deprecated facade delegates to.
+  Extractor(const SubstrateSolver& solver, const QuadTree& tree);
+
+  /// Runs the pipeline: validate -> method dispatch -> optional threshold.
+  /// Deterministic for a fixed request (seeding comes from the request).
+  ExtractionResult extract(const ExtractionRequest& request = {}) const;
+
+  const SubstrateSolver& solver() const { return *solver_; }
+  const QuadTree& tree() const { return *tree_; }
+  /// Seconds spent building the owned quadtree (0 for a borrowed tree);
+  /// kept out of per-request reports since the build is shared.
+  double tree_build_seconds() const { return tree_seconds_; }
+
+ private:
+  const SubstrateSolver* solver_;
+  std::unique_ptr<QuadTree> owned_tree_;
+  const QuadTree* tree_;
+  double tree_seconds_ = 0.0;
+};
+
+}  // namespace subspar

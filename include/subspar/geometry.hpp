@@ -1,0 +1,8 @@
+// Public header: contact-layout geometry — Layout/Contact/Rect, the paper's
+// example-layout generators, polynomial moments, and the multilevel QuadTree.
+#pragma once
+
+#include "geometry/layout.hpp"
+#include "geometry/layout_gen.hpp"
+#include "geometry/moments.hpp"
+#include "geometry/quadtree.hpp"

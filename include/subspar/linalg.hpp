@@ -1,0 +1,8 @@
+// Public header: dense/sparse linear algebra used at the API boundary —
+// Vector/Matrix, SparseMatrix, and the SVD entry points the benches probe.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector.hpp"

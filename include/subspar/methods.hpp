@@ -1,0 +1,14 @@
+// Public header: the two sparsification methods at fine grain — wavelet
+// basis/pattern/extraction (Chapter 3) and the low-rank row-basis pipeline
+// (Chapter 4). Most callers want the Extractor in subspar/extraction.hpp
+// instead; this header serves benches and research code that dissect the
+// individual phases (basis construction, combine-solves, thresholding).
+#pragma once
+
+#include "lowrank/extract.hpp"
+#include "lowrank/fine_to_coarse.hpp"
+#include "lowrank/row_basis.hpp"
+#include "wavelet/basis.hpp"
+#include "wavelet/extract.hpp"
+#include "wavelet/pattern.hpp"
+#include "wavelet/transform_basis.hpp"

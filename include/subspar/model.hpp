@@ -1,0 +1,10 @@
+// Public header: the SparsifiedModel (Q, G_w and its apply operators) and
+// its serialization (save_model / load_model, ModelIoError).
+//
+// Also re-exports the seed-era free-function facade `extract_sparsified`,
+// which is deprecated in favor of the Extractor pipeline in
+// subspar/extraction.hpp and kept for one release as a thin wrapper.
+#pragma once
+
+#include "core/extractor.hpp"
+#include "core/io.hpp"

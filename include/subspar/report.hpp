@@ -1,0 +1,6 @@
+// Public header: accuracy/sparsity scoring of a sparsified model against
+// exact black-box columns — the ErrorStats machinery behind the paper's
+// tables (§3.7).
+#pragma once
+
+#include "core/report.hpp"

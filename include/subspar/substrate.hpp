@@ -1,0 +1,13 @@
+// Public header: the substrate model and the black-box solver interface —
+// SubstrateStack (layer profile), SubstrateSolver (the §2.1 black box) and
+// its concrete discretizations. Prefer constructing solvers through the
+// registry in subspar/solvers.hpp; the concrete types are exposed for
+// callers that need solver-specific introspection (iteration stats, volume
+// fields, multigrid levels).
+#pragma once
+
+#include "substrate/eigen_solver.hpp"
+#include "substrate/fd_solver.hpp"
+#include "substrate/multigrid.hpp"
+#include "substrate/solver.hpp"
+#include "substrate/stack.hpp"

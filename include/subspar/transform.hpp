@@ -1,0 +1,7 @@
+// Public header: fast transforms (FFT, DCT, fast Poisson) — exposed for the
+// micro-kernel benches and for callers embedding the eigenfunction operator.
+#pragma once
+
+#include "transform/dct.hpp"
+#include "transform/fft.hpp"
+#include "transform/poisson.hpp"

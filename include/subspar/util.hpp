@@ -1,0 +1,11 @@
+// Public header: support utilities shared with examples and benches —
+// precondition checks, deterministic RNG, wall-clock timer, the thread pool
+// knobs, and the ASCII table/plot helpers the bench drivers print with.
+#pragma once
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/plot.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"

@@ -1,0 +1,129 @@
+#include "subspar/cache.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/io.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace subspar {
+namespace {
+
+ExtractionReport hit_report(const SparsifiedModel& model, double lookup_seconds) {
+  ExtractionReport report;
+  report.n = model.q().rows();
+  report.solves = 0;
+  report.seconds = lookup_seconds;
+  report.gw_sparsity = model.gw_sparsity_factor();
+  report.q_sparsity = model.q_sparsity_factor();
+  report.solve_reduction = model.solve_reduction_factor();
+  report.from_cache = true;
+  return report;
+}
+
+}  // namespace
+
+std::string model_cache_key(const Layout& layout, const SubstrateStack& stack,
+                            const ExtractionRequest& request, const std::string& solver_tag) {
+  Fnv1a hash;
+  hash.str(solver_tag);
+  hash.str(substrate_fingerprint(layout, stack));
+
+  hash.u64(request.method == SparsifyMethod::kWavelet ? 0 : 1);
+  hash.i64(request.moment_order);
+  hash.f64(request.lowrank.sigma_rel_tol);
+  hash.u64(request.lowrank.max_rank);
+  hash.f64(request.lowrank.u_sigma_rel_tol);
+  hash.u64(request.lowrank.seed);
+  hash.f64(request.threshold_sparsity_multiple);
+  return hash.hex();
+}
+
+ModelCache::ModelCache(std::string persist_dir) : persist_dir_(std::move(persist_dir)) {
+  SUBSPAR_REQUIRE(!persist_dir_.empty());
+  std::filesystem::create_directories(persist_dir_);
+}
+
+std::string ModelCache::persist_path(const std::string& key) const {
+  return (std::filesystem::path(persist_dir_) / ("model-" + key + ".txt")).string();
+}
+
+ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const Layout& layout,
+                                            const SubstrateStack& stack,
+                                            const ExtractionRequest& request) {
+  validate(request);
+  SUBSPAR_REQUIRE(solver.n_contacts() == layout.n_contacts());
+  const std::string key = model_cache_key(layout, stack, request, solver.cache_tag());
+  Timer timer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return ExtractionResult{it->second.model, hit_report(it->second.model, timer.seconds())};
+    }
+  }
+  if (!persist_dir_.empty()) {
+    const std::string path = persist_path(key);
+    if (std::filesystem::exists(path)) {
+      try {
+        SparsifiedModel model = load_model(path);
+        // A renamed/copied file can be internally consistent yet belong to
+        // a different extraction; size it against the requesting solver and
+        // treat a mismatch like any other corrupt file (fresh extraction).
+        SUBSPAR_REQUIRE(model.q().rows() == solver.n_contacts());
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        ++stats_.disk_loads;
+        ExtractionReport report = hit_report(model, timer.seconds());
+        auto [it, inserted] = entries_.insert_or_assign(key, Entry{std::move(model)});
+        (void)inserted;
+        return ExtractionResult{it->second.model, std::move(report)};
+      } catch (const std::exception&) {
+        // Corrupt/unreadable persisted model: fall through to a fresh
+        // extraction, which overwrites the bad file below.
+      }
+    }
+  }
+
+  ExtractionResult result = Extractor(solver, layout).extract(request);
+  if (!persist_dir_.empty()) {
+    try {
+      save_model(persist_path(key), result.model);
+    } catch (const std::exception&) {
+      // An unwritable persist directory must not discard a successful
+      // extraction: keep serving from memory, retry the write on the next
+      // miss of this key (if any).
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  entries_.insert_or_assign(key, Entry{result.model});
+  return result;
+}
+
+bool ModelCache::contains(const SubstrateSolver& solver, const Layout& layout,
+                          const SubstrateStack& stack, const ExtractionRequest& request) const {
+  const std::string key = model_cache_key(layout, stack, request, solver.cache_tag());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+std::size_t ModelCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ModelCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+CacheStats ModelCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace subspar

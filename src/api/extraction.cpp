@@ -1,0 +1,103 @@
+#include "subspar/extraction.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "lowrank/extract.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "wavelet/basis.hpp"
+#include "wavelet/extract.hpp"
+#include "wavelet/pattern.hpp"
+
+namespace subspar {
+
+void validate(const ExtractionRequest& request) {
+  SUBSPAR_REQUIRE(request.moment_order >= 0);
+  // (0, 1] would be a silent no-op under the old facade; reject it.
+  SUBSPAR_REQUIRE(request.threshold_sparsity_multiple == 0.0 ||
+                  request.threshold_sparsity_multiple > 1.0);
+  SUBSPAR_REQUIRE(request.lowrank.max_rank >= 1);
+  SUBSPAR_REQUIRE(request.lowrank.sigma_rel_tol > 0.0 && request.lowrank.sigma_rel_tol <= 1.0);
+  SUBSPAR_REQUIRE(request.lowrank.u_sigma_rel_tol > 0.0 &&
+                  request.lowrank.u_sigma_rel_tol <= 1.0);
+}
+
+std::string ExtractionReport::summary() const {
+  std::ostringstream out;
+  out << "n = " << n << ", solves = " << solves << " (reduction " << solve_reduction
+      << "x), sparsity(G_w) = " << gw_sparsity << ", sparsity(Q) = " << q_sparsity
+      << ", " << (from_cache ? "cache hit in " : "build = ") << seconds << " s";
+  if (!phases.empty()) {
+    out << " [";
+    for (std::size_t i = 0; i < phases.size(); ++i)
+      out << (i ? ", " : "") << phases[i].phase << " " << phases[i].seconds << " s";
+    out << "]";
+  }
+  return out.str();
+}
+
+Extractor::Extractor(const SubstrateSolver& solver, const Layout& layout, int max_level)
+    : solver_(&solver) {
+  SUBSPAR_REQUIRE(solver.n_contacts() == layout.n_contacts());
+  Timer timer;
+  owned_tree_ = std::make_unique<QuadTree>(layout, max_level);
+  tree_ = owned_tree_.get();
+  tree_seconds_ = timer.seconds();
+}
+
+Extractor::Extractor(const SubstrateSolver& solver, const QuadTree& tree)
+    : solver_(&solver), tree_(&tree) {
+  SUBSPAR_REQUIRE(solver.n_contacts() == tree.layout().n_contacts());
+}
+
+ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
+  validate(request);
+  ExtractionReport report;
+  const long solves_before = solver_->solve_count();
+  Timer total;
+  Timer phase_timer;
+  const auto phase_done = [&](const char* name) {
+    const double s = phase_timer.seconds();
+    report.phases.push_back({name, s});
+    if (request.progress) request.progress(name, s);
+    phase_timer.reset();
+  };
+
+  SparseMatrix q, gw;
+  if (request.method == SparsifyMethod::kWavelet) {
+    const WaveletBasis basis(*tree_, request.moment_order);
+    phase_done("wavelet-basis");
+    WaveletExtraction ex = wavelet_extract_combined(*solver_, basis);
+    q = basis.q();
+    gw = std::move(ex.gws);
+    phase_done("combine-extract");
+  } else {
+    const RowBasisRep rep(*solver_, *tree_, request.lowrank);
+    phase_done("row-basis");
+    const LowRankBasis basis(rep);
+    phase_done("fine-to-coarse");
+    gw = lowrank_fill_gw(rep, basis);
+    q = basis.q();
+    phase_done("gw-fill");
+  }
+  if (request.threshold_sparsity_multiple > 1.0) {
+    const auto target = static_cast<std::size_t>(static_cast<double>(gw.nnz()) /
+                                                 request.threshold_sparsity_multiple);
+    gw = threshold_to_nnz(gw, target);
+    phase_done("threshold");
+  }
+
+  const long solves = solver_->solve_count() - solves_before;
+  const double seconds = total.seconds();
+  SparsifiedModel model(std::move(q), std::move(gw), solves, seconds);
+  report.n = model.q().rows();
+  report.solves = solves;
+  report.seconds = seconds;
+  report.gw_sparsity = model.gw_sparsity_factor();
+  report.q_sparsity = model.q_sparsity_factor();
+  report.solve_reduction = model.solve_reduction_factor();
+  return ExtractionResult{std::move(model), std::move(report)};
+}
+
+}  // namespace subspar

@@ -2,13 +2,9 @@
 
 #include <sstream>
 
-#include "lowrank/extract.hpp"
+#include "subspar/extraction.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
-#include "util/timer.hpp"
-#include "wavelet/basis.hpp"
-#include "wavelet/extract.hpp"
-#include "wavelet/pattern.hpp"
 
 namespace subspar {
 
@@ -44,28 +40,17 @@ std::string SparsifiedModel::summary() const {
 
 SparsifiedModel extract_sparsified(const SubstrateSolver& solver, const QuadTree& tree,
                                    const ExtractorOptions& options) {
-  Timer timer;
-  SparseMatrix q, gw;
-  long solves = 0;
-  if (options.method == SparsifyMethod::kWavelet) {
-    const WaveletBasis basis(tree, options.moment_order);
-    const WaveletExtraction ex = wavelet_extract_combined(solver, basis);
-    q = basis.q();
-    gw = ex.gws;
-    solves = ex.solves;
-  } else {
-    LowRankExtraction ex = lowrank_extract(solver, tree, options.lowrank);
-    q = ex.basis->q();
-    gw = std::move(ex.gw);
-    solves = ex.solves;
-  }
-  if (options.threshold_sparsity_multiple > 1.0) {
-    const auto target =
-        static_cast<std::size_t>(static_cast<double>(gw.nnz()) /
-                                 options.threshold_sparsity_multiple);
-    gw = threshold_to_nnz(gw, target);
-  }
-  return SparsifiedModel(std::move(q), std::move(gw), solves, timer.seconds());
+  // Deprecated wrapper: same fields, same pipeline, same numbers — and the
+  // seed-era tolerance for thresholds <= 1 (a silent no-op then, a
+  // validation reject through the strict ExtractionRequest path now).
+  const double threshold =
+      options.threshold_sparsity_multiple > 1.0 ? options.threshold_sparsity_multiple : 0.0;
+  return Extractor(solver, tree)
+      .extract({.method = options.method,
+                .moment_order = options.moment_order,
+                .lowrank = options.lowrank,
+                .threshold_sparsity_multiple = threshold})
+      .model;
 }
 
 }  // namespace subspar

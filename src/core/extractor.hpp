@@ -1,8 +1,13 @@
-// Top-level facade: one call from (solver, layout) to a sparse substrate
-// model G ~= Q G_w Q' ready to drop into a circuit simulator.
+// The SparsifiedModel type and the seed-era extraction facade.
 //
-// This is the API a downstream user consumes; the benches and tests reach
-// into the underlying modules for finer-grained control.
+// DEPRECATED (facade only): `extract_sparsified` + `ExtractorOptions` are
+// superseded by the public pipeline in include/subspar/extraction.hpp
+// (ExtractionRequest -> Extractor -> ExtractionResult), which adds option
+// validation, per-phase timing reports, progress callbacks, and cache
+// integration. The free function is kept for one release as a thin wrapper
+// over `Extractor` and produces bit-identical models; new code should
+// include "subspar/subspar.hpp" and use the Extractor. SparsifiedModel
+// itself is not deprecated — it is the model type of both APIs.
 #pragma once
 
 #include <memory>
@@ -23,6 +28,7 @@ enum class SparsifyMethod {
 /// Knobs for `extract_sparsified`. Defaults give the unthresholded low-rank
 /// model of Table 4.1; set `threshold_sparsity_multiple` (the paper's
 /// Tables 4.2/3.1 use 6) for the thresholded trade-off.
+/// Deprecated with the facade: ExtractionRequest carries the same fields.
 struct ExtractorOptions {
   /// Which sparsification algorithm builds the change of basis Q.
   SparsifyMethod method = SparsifyMethod::kLowRank;
@@ -77,6 +83,8 @@ class SparsifiedModel {
 };
 
 /// Runs the selected sparsification pipeline end to end.
+/// Deprecated: delegates to Extractor (subspar/extraction.hpp); use that
+/// directly for validation, phase timings, progress, and caching.
 SparsifiedModel extract_sparsified(const SubstrateSolver& solver, const QuadTree& tree,
                                    const ExtractorOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "core/io.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -18,6 +19,11 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
+[[noreturn]] void fail_load(const std::string& path, const char* section,
+                            const std::string& detail) {
+  throw ModelIoError("load_model('" + path + "'): " + section + ": " + detail);
+}
+
 void write_sparse(std::FILE* f, const SparseMatrix& m) {
   std::fprintf(f, "%zu %zu %zu\n", m.rows(), m.cols(), m.nnz());
   for (std::size_t i = 0; i < m.rows(); ++i)
@@ -26,14 +32,38 @@ void write_sparse(std::FILE* f, const SparseMatrix& m) {
       std::fprintf(f, "%zu %zu %a\n", i, m.col_index(k), m.value(k));
 }
 
-SparseMatrix read_sparse(std::FILE* f) {
+SparseMatrix read_sparse(std::FILE* f, const std::string& path, const char* section) {
   std::size_t rows = 0, cols = 0, nnz = 0;
-  SUBSPAR_REQUIRE(std::fscanf(f, "%zu %zu %zu", &rows, &cols, &nnz) == 3);
+  if (std::fscanf(f, "%zu %zu %zu", &rows, &cols, &nnz) != 3)
+    fail_load(path, section, "missing or unparsable 'rows cols nnz' size line (truncated file?)");
+  if (rows == 0 || cols == 0) fail_load(path, section, "zero matrix dimension");
+  // Dimension sanity cap: stops a bit-flipped size line from provoking a
+  // multi-GB allocation before the entry checks can catch it (and keeps the
+  // nnz <= rows * cols product below overflow).
+  constexpr std::size_t kMaxDim = 50'000'000;
+  if (rows > kMaxDim || cols > kMaxDim)
+    fail_load(path, section,
+              "implausible dimensions " + std::to_string(rows) + " x " + std::to_string(cols) +
+                  " (corrupt size line?)");
+  if (nnz > rows * cols)
+    fail_load(path, section,
+              "entry count " + std::to_string(nnz) + " exceeds " + std::to_string(rows) + " x " +
+                  std::to_string(cols) + " (corrupt size line?)");
   SparseBuilder b(rows, cols);
   for (std::size_t t = 0; t < nnz; ++t) {
     std::size_t i = 0, j = 0;
     double v = 0.0;
-    SUBSPAR_REQUIRE(std::fscanf(f, "%zu %zu %la", &i, &j, &v) == 3);
+    if (std::fscanf(f, "%zu %zu %la", &i, &j, &v) != 3)
+      fail_load(path, section,
+                "file ends or entry is unparsable at entry " + std::to_string(t) + " of " +
+                    std::to_string(nnz) + " (truncated file?)");
+    if (i >= rows || j >= cols)
+      fail_load(path, section,
+                "entry index (" + std::to_string(i) + ", " + std::to_string(j) +
+                    ") outside the declared " + std::to_string(rows) + " x " +
+                    std::to_string(cols) + " shape (bit flip?)");
+    if (!std::isfinite(v))
+      fail_load(path, section, "non-finite value at entry " + std::to_string(t));
     b.add(i, j, v);
   }
   return SparseMatrix(b);
@@ -53,15 +83,27 @@ void save_model(const std::string& path, const SparsifiedModel& model) {
 
 SparsifiedModel load_model(const std::string& path) {
   File f(std::fopen(path.c_str(), "r"));
-  SUBSPAR_REQUIRE(f != nullptr);
+  if (f == nullptr) fail_load(path, "file", "cannot open for reading");
   char magic[64] = {};
-  SUBSPAR_REQUIRE(std::fgets(magic, sizeof magic, f.get()) != nullptr);
-  SUBSPAR_REQUIRE(std::string(magic).rfind(kMagic, 0) == 0);
+  if (std::fgets(magic, sizeof magic, f.get()) == nullptr)
+    fail_load(path, "header", "empty file");
+  if (std::string(magic).rfind(kMagic, 0) != 0)
+    fail_load(path, "header",
+              "magic line does not start with '" + std::string(kMagic) + "'");
   long solves = 0;
   double seconds = 0.0;
-  SUBSPAR_REQUIRE(std::fscanf(f.get(), "%ld %la", &solves, &seconds) == 2);
-  SparseMatrix q = read_sparse(f.get());
-  SparseMatrix gw = read_sparse(f.get());
+  if (std::fscanf(f.get(), "%ld %la", &solves, &seconds) != 2)
+    fail_load(path, "metadata", "missing or unparsable 'solves seconds' line");
+  if (solves < 0) fail_load(path, "metadata", "negative solve count");
+  if (!std::isfinite(seconds) || seconds < 0.0)
+    fail_load(path, "metadata", "invalid build-seconds value");
+  SparseMatrix q = read_sparse(f.get(), path, "Q matrix");
+  SparseMatrix gw = read_sparse(f.get(), path, "G_w matrix");
+  if (q.rows() != q.cols() || gw.rows() != q.cols() || gw.cols() != q.cols())
+    fail_load(path, "model",
+              "inconsistent shapes: Q is " + std::to_string(q.rows()) + " x " +
+                  std::to_string(q.cols()) + ", G_w is " + std::to_string(gw.rows()) + " x " +
+                  std::to_string(gw.cols()));
   return SparsifiedModel(std::move(q), std::move(gw), solves, seconds);
 }
 

@@ -3,19 +3,35 @@
 // Extraction costs O(log n) substrate solves; a downstream circuit-
 // simulation flow extracts once and reuses the model across runs. The
 // format is a small self-describing text file (exact decimal round trip via
-// hex floats).
+// hex floats). The ModelCache (subspar/cache.hpp) persists through this
+// layer; key-addressed files are plain save_model output.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "core/extractor.hpp"
 
 namespace subspar {
 
+/// Thrown by load_model for files that cannot be opened or fail validation.
+/// The message names the file and the offending section (header, metadata,
+/// Q matrix, G_w matrix) plus what went wrong — a truncated download and a
+/// bit-flipped index fail loudly instead of producing a silently wrong
+/// model. Derives from std::invalid_argument so seed-era catch sites keep
+/// working.
+class ModelIoError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Writes the model to `path`. Throws on I/O failure.
 void save_model(const std::string& path, const SparsifiedModel& model);
 
-/// Reads a model written by save_model. Validates the header and shape.
+/// Reads a model written by save_model. Validates the header, the metadata,
+/// both matrix sections (shape sanity, entry counts, index ranges, finite
+/// values), and the cross-section shape consistency; throws ModelIoError
+/// naming the offending section otherwise.
 SparsifiedModel load_model(const std::string& path);
 
 }  // namespace subspar

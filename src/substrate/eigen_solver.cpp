@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
 #include "linalg/cholesky.hpp"
@@ -238,6 +239,14 @@ SurfaceSolver::SurfaceSolver(const Layout& layout, const SubstrateStack& stack,
 SurfaceSolver::~SurfaceSolver() = default;
 
 std::size_t SurfaceSolver::n_contacts() const { return impl_->layout.n_contacts(); }
+
+std::string SurfaceSolver::cache_tag() const {
+  const SurfaceSolverOptions& o = impl_->options;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "|%a|%zu|%d|", o.rel_tol, o.max_iterations,
+                o.contact_block_precond ? 1 : 0);
+  return name() + buf + substrate_fingerprint(impl_->layout, impl_->stack);
+}
 
 Vector SurfaceSolver::apply_panel_operator(const Vector& panel_currents) const {
   SUBSPAR_REQUIRE(panel_currents.size() == impl_->grid_size());

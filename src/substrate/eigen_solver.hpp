@@ -39,6 +39,9 @@ class SurfaceSolver : public SubstrateSolver {
 
   std::size_t n_contacts() const override;
   std::string name() const override { return "eigenfunction"; }
+  /// name() plus the solve-accuracy options plus the construction
+  /// (layout, stack) fingerprint (see SubstrateSolver::cache_tag).
+  std::string cache_tag() const override;
 
   /// v = A q on the full panel grid (q, v of length panels_x * panels_y).
   Vector apply_panel_operator(const Vector& panel_currents) const;

@@ -1,6 +1,7 @@
 #include "substrate/fd_solver.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
 #include "linalg/ic0.hpp"
@@ -277,6 +278,19 @@ FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOp
 FdSolver::~FdSolver() = default;
 
 std::size_t FdSolver::n_contacts() const { return impl_->layout.n_contacts(); }
+
+std::string FdSolver::cache_tag() const {
+  const FdSolverOptions& o = impl_->options;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "|%a|%d|%a|%zu|%d", o.grid_h, static_cast<int>(o.precond),
+                o.rel_tol, o.max_iterations, o.ghost_half_spacing ? 1 : 0);
+  std::string tag = name() + buf;
+  for (const SubstrateWell& w : o.wells) {
+    std::snprintf(buf, sizeof buf, "|%a,%a,%a,%a,%a", w.x0, w.y0, w.width, w.height, w.depth);
+    tag += buf;
+  }
+  return tag + "|" + substrate_fingerprint(impl_->layout, impl_->stack);
+}
 
 std::size_t FdSolver::grid_nodes() const { return impl_->nx * impl_->ny * impl_->nz; }
 

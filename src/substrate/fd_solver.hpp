@@ -61,6 +61,11 @@ class FdSolver : public SubstrateSolver {
 
   std::size_t n_contacts() const override;
   std::string name() const override { return "finite-difference"; }
+  /// name() plus every option that changes the discretized operator —
+  /// grid spacing, ghost placement, wells, preconditioner, tolerances —
+  /// plus the construction (layout, stack) fingerprint
+  /// (see SubstrateSolver::cache_tag).
+  std::string cache_tag() const override;
 
   std::size_t grid_nodes() const;
   double avg_iterations() const;

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace subspar {
+
+std::string substrate_fingerprint(const Layout& layout, const SubstrateStack& stack) {
+  Fnv1a hash;
+  hash.u64(layout.panels_x());
+  hash.u64(layout.panels_y());
+  hash.f64(layout.panel_size());
+  hash.u64(layout.n_contacts());
+  for (std::size_t i = 0; i < layout.n_contacts(); ++i) {
+    const Contact& c = layout.contact(i);
+    hash.u64(c.parts.size());
+    for (const Rect& r : c.parts) {
+      hash.i64(r.x0);
+      hash.i64(r.y0);
+      hash.i64(r.w);
+      hash.i64(r.h);
+    }
+  }
+  hash.u64(stack.layers().size());
+  for (const SubstrateLayer& layer : stack.layers()) {
+    hash.f64(layer.thickness);
+    hash.f64(layer.conductivity);
+  }
+  hash.u64(stack.backplane() == Backplane::kGrounded ? 0 : 1);
+  return hash.hex();
+}
 
 Vector SubstrateSolver::solve(const Vector& contact_voltages) const {
   SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
@@ -42,8 +68,17 @@ Matrix extract_columns(const SubstrateSolver& solver, const std::vector<std::siz
 }
 
 std::vector<std::size_t> sample_columns(std::size_t n, double fraction) {
-  SUBSPAR_REQUIRE(fraction > 0.0 && fraction <= 1.0);
-  const std::size_t stride = std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / fraction));
+  SUBSPAR_REQUIRE(n > 0);
+  SUBSPAR_REQUIRE(fraction > 0.0);
+  SUBSPAR_REQUIRE(fraction <= 1.0);
+  // Clamp the stride to n before the size_t cast: for tiny fractions
+  // 1 / fraction can exceed the range of size_t (undefined conversion), and
+  // any stride >= n means "just column 0" anyway. The sample is never empty.
+  const double inv = 1.0 / fraction;
+  const std::size_t stride =
+      inv >= static_cast<double>(n)
+          ? n
+          : std::max<std::size_t>(1, static_cast<std::size_t>(inv));
   std::vector<std::size_t> cols;
   for (std::size_t j = 0; j < n; j += stride) cols.push_back(j);
   return cols;

@@ -11,10 +11,20 @@
 #include <string>
 #include <vector>
 
+#include "geometry/layout.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "substrate/stack.hpp"
 
 namespace subspar {
+
+/// Content fingerprint (16 hex digits) of a solver's construction inputs:
+/// panel grid, contact rectangles, layer profile, backplane. Concrete
+/// solvers fold it into cache_tag() so a solver is cache-keyed to the
+/// geometry it was actually built over, and the ModelCache key reuses it
+/// for the (layout, stack) the caller passes — the two match exactly when
+/// the caller keeps the documented precondition.
+std::string substrate_fingerprint(const Layout& layout, const SubstrateStack& stack);
 
 class SubstrateSolver {
  public:
@@ -37,6 +47,15 @@ class SubstrateSolver {
   virtual std::size_t n_contacts() const = 0;
   /// Short solver label used in bench/table output.
   virtual std::string name() const = 0;
+
+  /// Configuration digest for cache keying (subspar/cache.hpp): two solvers
+  /// with equal cache_tag()s must implement the same operator G to solver
+  /// tolerance. The base returns name(); concrete solvers append every
+  /// construction option that changes G or its accuracy (grid spacing,
+  /// wells, tolerances, ...) plus the substrate_fingerprint of the
+  /// (layout, stack) they were built over, so a tag binds a solver to its
+  /// actual construction geometry.
+  virtual std::string cache_tag() const { return name(); }
 
   /// Black-box solves performed since construction / the last reset.
   long solve_count() const { return solve_count_; }
@@ -64,6 +83,7 @@ Matrix extract_dense(const SubstrateSolver& solver);
 Matrix extract_columns(const SubstrateSolver& solver, const std::vector<std::size_t>& cols);
 
 /// A deterministic every-k-th column sample covering ~`fraction` of columns.
+/// Requires n > 0 and fraction in (0, 1]; always returns at least column 0.
 std::vector<std::size_t> sample_columns(std::size_t n, double fraction);
 
 }  // namespace subspar

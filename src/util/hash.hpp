@@ -1,0 +1,53 @@
+// 64-bit FNV-1a content hashing for cache keys and fingerprints.
+//
+// Deliberately not std::hash: keys derived from this hash are used as
+// on-disk filenames and must be identical across processes, platforms, and
+// endiannesses. Integers are folded in fixed little-endian byte order and
+// doubles as their exact %a hex-float text, so equal values always hash
+// equally regardless of host representation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace subspar {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& s) {
+    bytes(s.data(), s.size());
+    sep();
+  }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, sizeof b);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    bytes(buf, std::strlen(buf));
+    sep();
+  }
+  void sep() { bytes("|", 1); }
+
+  /// The digest as 16 lowercase hex digits.
+  std::string hex() const {
+    char out[17];
+    std::snprintf(out, sizeof out, "%016llx", static_cast<unsigned long long>(h));
+    return out;
+  }
+};
+
+}  // namespace subspar

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/extractor.hpp"
 #include "core/io.hpp"
@@ -129,6 +131,140 @@ TEST(ModelIo, SaveLoadRoundTripsExactly) {
   Vector v(f.layout.n_contacts());
   for (auto& x : v) x = rng.normal();
   EXPECT_EQ(norm2(loaded.apply(v) - model.apply(v)), 0.0);
+}
+
+namespace io_fixtures {
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  return content;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f), content.size());
+  std::fclose(f);
+}
+
+// Expects load_model(path) to throw ModelIoError whose message contains
+// `needle` (the section name the error should point at).
+void expect_load_error(const std::string& path, const std::string& needle) {
+  try {
+    load_model(path);
+    FAIL() << "load_model accepted a corrupt file (wanted error naming '" << needle << "')";
+  } catch (const ModelIoError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+}  // namespace io_fixtures
+
+TEST(ModelIo, LoadRejectsTruncatedFilesNamingTheSection) {
+  using namespace io_fixtures;
+  CoreFixture f(regular_grid_layout(4));
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  const std::string path = "/tmp/subspar_model_trunc.txt";
+  save_model(path, model);
+  const std::string good = read_file(path);
+
+  // Structural offsets: line 0 = magic, line 1 = metadata, line 2 = Q size,
+  // lines 3..2+nnz(Q) = Q entries, then the G_w size line. Cuts land just
+  // after a line's first token, so the truncation is always detectable (a
+  // cut inside a trailing hex-float still scans as a shorter number).
+  const std::size_t metadata_start = good.find('\n') + 1;
+  const std::size_t q_size_line = good.find('\n', metadata_start) + 1;
+  std::size_t q_entries_start = good.find('\n', q_size_line) + 1;
+  std::size_t gw_size_line = q_entries_start;
+  for (std::size_t e = 0; e < model.q().nnz(); ++e)
+    gw_size_line = good.find('\n', gw_size_line) + 1;
+  const std::size_t last_entry_start = good.rfind('\n', good.size() - 2) + 1;
+
+  // Cut mid-way through every section: header, metadata, Q entries, G_w
+  // size/entries. Each cut must fail loudly, naming the section.
+  struct Cut {
+    std::size_t bytes;
+    const char* names;
+  };
+  const Cut cuts[] = {
+      {4, "header"},                        // inside the magic line
+      {metadata_start + 1, "metadata"},     // inside 'solves seconds'
+      {q_entries_start + 2, "Q matrix"},    // inside the first Q entry
+      {gw_size_line + 1, "G_w matrix"},     // inside the G_w size line
+      {last_entry_start + 2, "G_w matrix"}, // missing the final entry
+  };
+  for (const Cut& cut : cuts) {
+    ASSERT_LT(cut.bytes, good.size());
+    write_file(path, good.substr(0, cut.bytes));
+    expect_load_error(path, cut.names);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadRejectsBitFlippedFields) {
+  using namespace io_fixtures;
+  CoreFixture f(regular_grid_layout(4));
+  const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
+  const std::string path = "/tmp/subspar_model_flip.txt";
+  save_model(path, model);
+  const std::string good = read_file(path);
+
+  // Locate the Q size line (line 3) and its first entry line (line 4).
+  std::vector<std::string> lines;
+  for (std::size_t pos = 0; pos < good.size();) {
+    const std::size_t next = good.find('\n', pos);
+    lines.push_back(good.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  const auto join = [&](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const std::string& l : ls) out += l + "\n";
+    return out;
+  };
+
+  {  // "Flipped" nnz count: promises more entries than the file holds.
+    std::vector<std::string> bad = lines;
+    bad[2] += "999";
+    write_file(path, join(bad));
+    expect_load_error(path, "Q matrix");
+  }
+  {  // Corrupt dimension: implausibly huge rows field.
+    std::vector<std::string> bad = lines;
+    bad[2] = "999999999999 " + bad[2];
+    write_file(path, join(bad));
+    expect_load_error(path, "Q matrix");
+  }
+  {  // Flipped column index on the first Q entry: out of declared range.
+    std::vector<std::string> bad = lines;
+    const std::size_t sp = bad[3].find(' ');
+    bad[3] = bad[3].substr(0, sp) + " 888888" + bad[3].substr(bad[3].find(' ', sp + 1));
+    write_file(path, join(bad));
+    expect_load_error(path, "outside the declared");
+  }
+  {  // Flipped byte in the magic.
+    std::string bad = good;
+    bad[3] ^= 0x20;
+    write_file(path, bad);
+    expect_load_error(path, "header");
+  }
+  {  // Negative solve count in the metadata.
+    std::vector<std::string> bad = lines;
+    bad[1] = "-" + bad[1];
+    write_file(path, join(bad));
+    expect_load_error(path, "metadata");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadErrorsNameTheOffendingFile) {
+  io_fixtures::expect_load_error("/nonexistent/path/model.txt", "/nonexistent/path/model.txt");
 }
 
 TEST(ModelIo, LoadRejectsGarbage) {

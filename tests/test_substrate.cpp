@@ -182,6 +182,33 @@ TEST(SurfaceSolver, SolveCountTracksCalls) {
   EXPECT_EQ(solver.solve_count(), 0);
 }
 
+TEST(SampleColumns, CoversRequestedFraction) {
+  const auto cols = sample_columns(100, 0.10);
+  EXPECT_EQ(cols.size(), 10u);
+  EXPECT_EQ(cols.front(), 0u);
+  EXPECT_EQ(cols.back(), 90u);
+  const auto all = sample_columns(7, 1.0);
+  EXPECT_EQ(all.size(), 7u);
+}
+
+TEST(SampleColumns, RejectsEdgeArguments) {
+  EXPECT_THROW(sample_columns(0, 0.5), std::invalid_argument);   // n == 0
+  EXPECT_THROW(sample_columns(10, 0.0), std::invalid_argument);  // fraction <= 0
+  EXPECT_THROW(sample_columns(10, -0.25), std::invalid_argument);
+  EXPECT_THROW(sample_columns(10, 1.5), std::invalid_argument);  // fraction > 1
+}
+
+TEST(SampleColumns, TinyFractionsClampToSingleColumn) {
+  // 1/fraction far beyond size_t range used to be an undefined cast; now it
+  // clamps to stride n and still samples column 0.
+  for (const double fraction : {1e-9, 1e-300}) {
+    const auto cols = sample_columns(10, fraction);
+    ASSERT_EQ(cols.size(), 1u);
+    EXPECT_EQ(cols[0], 0u);
+  }
+  EXPECT_EQ(sample_columns(1, 1.0).size(), 1u);
+}
+
 TEST(SurfaceSolver, RejectsFloatingBackplane) {
   const Layout l = regular_grid_layout(4);
   const SubstrateStack st({{8.0, 1.0}}, Backplane::kFloating);
