@@ -203,6 +203,133 @@ void BM_BatchedSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSolve)->Arg(4)->Arg(16);
 
+// ---- sparse engine: batched SpMM / level-scheduled IC(0) / FD solve
+
+// The Table 2.1 FD system's grid Laplacian (64x64x20, layered stack with a
+// 1000x conductivity contrast), shared by the sparse micro-benches.
+struct SparseFixture {
+  GridSpec spec;
+  SparseMatrix a;
+  Ic0Preconditioner ic0_rcm;
+  SparseFixture() : spec(make_spec()), a(assemble_grid_laplacian(spec)),
+                    ic0_rcm(a, rcm_ordering(a)) {}
+  static GridSpec make_spec() {
+    GridSpec s;
+    s.nx = s.ny = 64;
+    s.nz = 20;
+    s.h = 2.0;
+    s.sigma.assign(s.nz, 100.0);
+    s.sigma.front() = 1.0;
+    s.sigma.back() = 0.1;
+    s.g_top.assign(s.nx * s.ny, 0.0);
+    Rng rng(12);
+    for (auto& g : s.g_top) g = rng.below(4) == 0 ? 0.4 : 0.0;
+    s.g_bottom = 4.0;
+    return s;
+  }
+};
+
+Matrix random_rhs(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix b(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) b(i, j) = rng.normal();
+  return b;
+}
+
+// Reference point for BM_SpMM: one CSR traversal per right-hand side.
+void BM_SpMMPerColumn(benchmark::State& state) {
+  static SparseFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_rhs(fx.a.cols(), k, 13);
+  for (auto _ : state) {
+    Matrix y(fx.a.rows(), k);
+    for (std::size_t j = 0; j < k; ++j) y.set_col(j, fx.a.apply(x.col(j)));
+    benchmark::DoNotOptimize(y(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(fx.a.nnz() * k));
+}
+BENCHMARK(BM_SpMMPerColumn)->Arg(16);
+
+// Batched multi-RHS SpMM: one row-partitioned traversal feeds all columns
+// (bit-identical to the per-column reference).
+void BM_SpMM(benchmark::State& state) {
+  static SparseFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_rhs(fx.a.cols(), k, 13);
+  for (auto _ : state) {
+    const Matrix y = fx.a.apply_many(x);
+    benchmark::DoNotOptimize(y(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(fx.a.nnz() * k));
+}
+BENCHMARK(BM_SpMM)->Arg(4)->Arg(16);
+
+void BM_Ic0SolvePerColumn(benchmark::State& state) {
+  static SparseFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix b = random_rhs(fx.a.rows(), k, 14);
+  for (auto _ : state) {
+    Matrix x(b.rows(), k);
+    for (std::size_t j = 0; j < k; ++j)
+      x.set_col(j, ic0_solve(fx.ic0_rcm.factor(), b.col(j)));
+    benchmark::DoNotOptimize(x(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
+}
+BENCHMARK(BM_Ic0SolvePerColumn)->Arg(16);
+
+// Level-scheduled forward/backward substitution on the RCM-permuted IC(0)
+// factor, all right-hand sides per level sweep.
+void BM_Ic0SolveMany(benchmark::State& state) {
+  static SparseFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix b = random_rhs(fx.a.rows(), k, 14);
+  for (auto _ : state) {
+    const Matrix x = ic0_solve_many(fx.ic0_rcm.factor(), b);
+    benchmark::DoNotOptimize(x(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
+}
+BENCHMARK(BM_Ic0SolveMany)->Arg(4)->Arg(16);
+
+// The whole-path numbers behind the sparse engine: k FD solves through the
+// ICCG branch (level-scheduled RCM IC(0)), per-column vs one batched
+// solve_many (shared block-Krylov space + multi-RHS sparse kernels).
+struct FdSolveFixture {
+  Layout layout = regular_grid_layout(8, 2.0);
+  SubstrateStack stack = bench_stack_fd();
+  FdSolver solver{layout, stack,
+                  {.grid_h = 2.0, .precond = FdPreconditioner::kIncompleteCholesky}};
+};
+
+void BM_FdSolvePerColumn(benchmark::State& state) {
+  static FdSolveFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix v = random_rhs(fx.layout.n_contacts(), k, 15);
+  for (auto _ : state) {
+    Matrix i(fx.layout.n_contacts(), k);
+    for (std::size_t j = 0; j < k; ++j) i.set_col(j, fx.solver.solve(v.col(j)));
+    benchmark::DoNotOptimize(i(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
+}
+BENCHMARK(BM_FdSolvePerColumn)->Arg(16);
+
+void BM_FdSolveBatched(benchmark::State& state) {
+  static FdSolveFixture fx;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix v = random_rhs(fx.layout.n_contacts(), k, 15);
+  for (auto _ : state) {
+    const Matrix i = fx.solver.solve_many(v);
+    benchmark::DoNotOptimize(i(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(k));
+}
+BENCHMARK(BM_FdSolveBatched)->Arg(4)->Arg(16);
+
 void BM_RowBasisApply(benchmark::State& state) {
   static SolveFixtureState fx;
   static const QuadTree tree(fx.layout);

@@ -1,8 +1,14 @@
 // Public header: dense/sparse linear algebra used at the API boundary —
-// Vector/Matrix, SparseMatrix, and the SVD entry points the benches probe.
+// Vector/Matrix, the batched CSR SparseMatrix engine (multi-RHS SpMM,
+// symmetric permutation, RCM ordering, level-scheduled IC(0)), the
+// Preconditioner interface consumed by the blocked PCG, and the SVD entry
+// points the benches probe.
 #pragma once
 
+#include "linalg/ic0.hpp"
+#include "linalg/iterative.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/reorder.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector.hpp"

@@ -40,6 +40,12 @@ Matrix solve_block_gram(const Matrix& t, const Matrix& s) {
 
 }  // namespace
 
+Vector Preconditioner::apply(const Vector& r) const {
+  Matrix rm(r.size(), 1);
+  rm.set_col(0, r);
+  return apply_many(rm).col(0);
+}
+
 Vector pcg(const LinearOp& a, const Vector& b, const IterOptions& opt, IterStats* stats,
            const LinearOp& precond) {
   const std::size_t n = b.size();
@@ -98,7 +104,7 @@ Matrix select_cols(const Matrix& m, const std::vector<std::size_t>& keep) {
 }  // namespace
 
 Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
-                 BlockIterStats* stats, const LinearOpMany& precond) {
+                 BlockIterStats* stats, const Preconditioner* precond) {
   const std::size_t n = b.rows();
   const std::size_t k = b.cols();
   Matrix x(n, k);
@@ -126,7 +132,7 @@ Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
   }
 
   Matrix xa(n, active.size());
-  Matrix z = precond ? precond(r) : r;
+  Matrix z = precond ? precond->apply_many(r) : r;
   Matrix p = z;
   Matrix s = matmul_tn(z, r);  // live x live Gram of the recurrence
   // Stagnation watchdog: if the worst residual has not halved within a
@@ -190,7 +196,7 @@ Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
       r *= -1.0;
       for (std::size_t j = 0; j < active.size(); ++j)
         for (std::size_t i = 0; i < n; ++i) r(i, j) += b(i, active[j]);
-      z = precond ? precond(r) : r;
+      z = precond ? precond->apply_many(r) : r;
       p = z;
       s = matmul_tn(z, r);
       stall_ref = worst;
@@ -198,7 +204,7 @@ Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
       continue;
     }
 
-    z = precond ? precond(r) : r;
+    z = precond ? precond->apply_many(r) : r;
     const Matrix s_next = matmul_tn(z, r);
     if (deflated) {
       // Fresh directions for the surviving columns (their cross terms with

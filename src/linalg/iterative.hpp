@@ -21,6 +21,37 @@ using LinearOp = std::function<Vector(const Vector&)>;
 /// an independent vector; implementations may batch or thread the columns).
 using LinearOpMany = std::function<Matrix(const Matrix&)>;
 
+/// The preconditioner interface of the batched sparse engine: one object
+/// per factorization/setup, applied to whole blocks of residuals at once.
+/// Implementations must be symmetric positive definite as operators (PCG
+/// requirement), deterministic, and bit-identical for any SUBSPAR_THREADS;
+/// apply_many on a 1-column matrix is the single-vector action. Concrete
+/// engines: Ic0Preconditioner (linalg/ic0.hpp, level-scheduled triangular
+/// solves on an RCM-permuted factor), MultigridPreconditioner
+/// (substrate/multigrid.hpp, batched V-cycles), and the fast-Poisson and
+/// block-Jacobi wrappers inside the substrate solvers.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Z = M^{-1} R columnwise for k residual columns at once.
+  virtual Matrix apply_many(const Matrix& r) const = 0;
+
+  /// Single-vector convenience wrapper over apply_many.
+  Vector apply(const Vector& r) const;
+};
+
+/// Adapter for ad-hoc preconditioners (tests, out-of-tree operators): wraps
+/// a columnwise callable as a Preconditioner.
+class FunctionPreconditioner final : public Preconditioner {
+ public:
+  explicit FunctionPreconditioner(LinearOpMany fn) : fn_(std::move(fn)) {}
+  Matrix apply_many(const Matrix& r) const override { return fn_(r); }
+
+ private:
+  LinearOpMany fn_;
+};
+
 struct IterStats {
   std::size_t iterations = 0;
   double relative_residual = 0.0;  ///< ||b - A x|| / ||b|| at exit
@@ -53,8 +84,10 @@ struct BlockIterStats {
 /// converged column) is handled by a spectral pseudo-inverse of the small
 /// k x k Gram systems, so the method never breaks down. Zero columns of b
 /// return zero columns. Deterministic for any SUBSPAR_THREADS.
+/// Preconditioning goes through the blockwise Preconditioner interface
+/// (nullptr = identity); wrap ad-hoc callables in FunctionPreconditioner.
 Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
-                 BlockIterStats* stats, const LinearOpMany& precond = nullptr);
+                 BlockIterStats* stats, const Preconditioner* precond = nullptr);
 
 /// Restarted GMRES(m).
 Vector gmres(const LinearOp& a, const Vector& b, std::size_t restart, const IterOptions& opt,

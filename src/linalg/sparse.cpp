@@ -4,9 +4,19 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/reorder.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
+namespace {
+/// Rows per SpMM task: fine-grained enough to balance irregular rows, and a
+/// fixed constant so the row -> task mapping (and hence every accumulation)
+/// is independent of the pool size.
+constexpr std::size_t kSpmmRowChunk = 64;
+/// Output columns per transpose-SpMM task (each task owns a column slice).
+constexpr std::size_t kSpmmColChunk = 8;
+}  // namespace
 
 void SparseBuilder::add(std::size_t r, std::size_t c, double v) {
   SUBSPAR_REQUIRE(r < rows_ && c < cols_);
@@ -50,7 +60,9 @@ SparseMatrix SparseMatrix::from_dense(const Matrix& a, double drop_tol) {
 }
 
 double SparseMatrix::sparsity_factor() const {
-  if (nnz() == 0) return 0.0;
+  // Zero-nnz (including 0 x n / n x 0) matrices have no meaningful sparsity
+  // factor; return 0 rather than dividing by zero.
+  if (rows_ == 0 || cols_ == 0 || nnz() == 0) return 0.0;
   return static_cast<double>(rows_) * static_cast<double>(cols_) / static_cast<double>(nnz());
 }
 
@@ -74,6 +86,70 @@ Vector SparseMatrix::apply_t(const Vector& x) const {
     for (std::size_t k = rowptr_[i]; k < rowptr_[i + 1]; ++k) y[colidx_[k]] += val_[k] * xi;
   }
   return y;
+}
+
+Matrix SparseMatrix::apply_many(const Matrix& x) const {
+  SUBSPAR_REQUIRE(x.rows() == cols_);
+  const std::size_t k = x.cols();
+  Matrix y(rows_, k);
+  if (k == 0 || rows_ == 0) return y;
+  const std::size_t chunks = (rows_ + kSpmmRowChunk - 1) / kSpmmRowChunk;
+  parallel_for(chunks, [&](std::size_t t) {
+    const std::size_t i0 = t * kSpmmRowChunk;
+    const std::size_t i1 = std::min(rows_, i0 + kSpmmRowChunk);
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* yrow = y.row_ptr(i);
+      const std::size_t e0 = rowptr_[i], e1 = rowptr_[i + 1];
+      // Scalar reduction per (row, column) in ascending entry order — the
+      // same operation sequence (incl. FMA contraction) as apply(), so the
+      // batched result is bit-identical to k single applies. The row's
+      // entries stay in L1 across the k columns: one effective traversal
+      // of A feeds the whole block.
+      for (std::size_t j = 0; j < k; ++j) {
+        double s = 0.0;
+        for (std::size_t e = e0; e < e1; ++e) s += val_[e] * x.row_ptr(colidx_[e])[j];
+        yrow[j] = s;
+      }
+    }
+  });
+  return y;
+}
+
+Matrix SparseMatrix::apply_t_many(const Matrix& x) const {
+  SUBSPAR_REQUIRE(x.rows() == rows_);
+  const std::size_t k = x.cols();
+  Matrix y(cols_, k);
+  if (k == 0 || cols_ == 0) return y;
+  const std::size_t chunks = (k + kSpmmColChunk - 1) / kSpmmColChunk;
+  parallel_for(chunks, [&](std::size_t t) {
+    const std::size_t j0 = t * kSpmmColChunk;
+    const std::size_t j1 = std::min(k, j0 + kSpmmColChunk);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double* xrow = x.row_ptr(i);
+      for (std::size_t e = rowptr_[i]; e < rowptr_[i + 1]; ++e) {
+        const double v = val_[e];
+        double* yrow = y.row_ptr(colidx_[e]);
+        // The per-element zero skip mirrors apply_t()'s row skip exactly
+        // (bit-identical even through signed-zero accumulation).
+        for (std::size_t j = j0; j < j1; ++j)
+          if (xrow[j] != 0.0) yrow[j] += v * xrow[j];
+      }
+    }
+  });
+  return y;
+}
+
+SparseMatrix SparseMatrix::permuted(const std::vector<std::size_t>& p) const {
+  SUBSPAR_REQUIRE(rows_ == cols_ && p.size() == rows_);
+  const std::vector<std::size_t> inv = invert_permutation(p);  // validates p
+  // Row i of the result is row p[i] of *this with columns relabelled by
+  // inv; the CSR constructor re-sorts each row, keeping the sorted-column
+  // invariant.
+  SparseBuilder b(rows_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t e = rowptr_[p[i]]; e < rowptr_[p[i] + 1]; ++e)
+      b.add(i, inv[colidx_[e]], val_[e]);
+  return SparseMatrix(b);
 }
 
 Matrix SparseMatrix::to_dense() const {

@@ -130,12 +130,11 @@ struct SurfaceSolver::Impl {
 
       BlockIterStats stats;
       const LinearOpMany op = [&](const Matrix& x) { return apply_restricted_many(x); };
-      const LinearOpMany pre = options.contact_block_precond
-                                   ? LinearOpMany([&](const Matrix& r) { return precondition_many(r); })
-                                   : LinearOpMany();
+      const FunctionPreconditioner pre(
+          [&](const Matrix& r) { return precondition_many(r); });
       const Matrix q = pcg_block(
           op, v, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
-          &stats, pre);
+          &stats, options.contact_block_precond ? &pre : nullptr);
       SUBSPAR_ENSURE(stats.converged);
       total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
       stat_solves += static_cast<long>(kc);

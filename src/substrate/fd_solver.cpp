@@ -2,21 +2,35 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "linalg/ic0.hpp"
 #include "linalg/iterative.hpp"
+#include "linalg/reorder.hpp"
 #include "linalg/sparse.hpp"
 #include "substrate/multigrid.hpp"
 #include "transform/fft.hpp"
 #include "transform/poisson.hpp"
 #include "util/check.hpp"
-#include "util/parallel.hpp"
 
 namespace subspar {
 namespace {
 /// Column-chunk width per pcg_block call (see eigen_solver.cpp).
 constexpr std::size_t kMaxSolveBlock = 16;
+
+/// The Table 2.1 fast-Poisson preconditioner behind the blockwise
+/// Preconditioner interface: column fan-out over the pool, per-column
+/// arithmetic identical to a single solve.
+class FastPoissonPreconditioner final : public Preconditioner {
+ public:
+  explicit FastPoissonPreconditioner(PoissonGrid grid) : fp_(std::move(grid)) {}
+  Matrix apply_many(const Matrix& r) const override { return fp_.solve_many(r); }
+
+ private:
+  FastPoisson3D fp_;
+};
+
 }  // namespace
 
 struct FdSolver::Impl {
@@ -28,11 +42,12 @@ struct FdSolver::Impl {
   double h = 0.0;
   double g_contact = 0.0;  ///< ghost-resistor conductance sigma_top * h
 
-  SparseMatrix a;                              // grid-of-resistors Laplacian
-  std::unique_ptr<FastPoisson3D> fast_precond;
+  SparseMatrix a;  // grid-of-resistors Laplacian
+  // The sparse engine's preconditioner branch (fast-Poisson / batched
+  // multigrid / RCM-reordered level-scheduled IC(0)); null = plain CG.
+  // The multigrid hierarchy outlives its non-owning preconditioner wrapper.
   std::unique_ptr<GridMultigrid> multigrid;
-  SparseMatrix ic_factor;
-  bool use_ic = false;
+  std::unique_ptr<Preconditioner> precond;
 
   // Top-plane node indices per contact (into the full grid vector).
   std::vector<std::vector<std::size_t>> contact_nodes;
@@ -47,52 +62,63 @@ struct FdSolver::Impl {
     return x + nx * (y + ny * z);
   }
 
-  // Columnwise batched operator / preconditioner applications (identical
-  // per-column arithmetic to the single-vector path for any thread count).
-  Matrix apply_many(const Matrix& x) const {
-    Matrix y(x.rows(), x.cols());
-    parallel_for(x.cols(), [&](std::size_t j) { y.set_col(j, a.apply(x.col(j))); });
-    return y;
+  [[noreturn]] void throw_not_converged(double residual) const {
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "FdSolver: PCG failed to converge within %zu iterations "
+                  "(max relative residual %.3e, tol %.3e)",
+                  options.max_iterations, residual, options.rel_tol);
+    throw std::runtime_error(msg);
   }
 
-  Matrix precondition_many(const Matrix& r) const {
-    Matrix z(r.rows(), r.cols());
-    parallel_for(r.cols(), [&](std::size_t j) {
-      if (fast_precond) {
-        z.set_col(j, fast_precond->solve(r.col(j)));
-      } else if (multigrid) {
-        z.set_col(j, multigrid->vcycle(r.col(j)));
-      } else {
-        z.set_col(j, ic0_solve(ic_factor, r.col(j)));
-      }
-    });
-    return z;
+  // Right-hand-side columns [j0, j0 + kc) of the volume system: each
+  // contact's ghost resistors inject g_contact * V into its top-plane
+  // nodes (shared by the single-column and blocked paths).
+  Matrix assemble_rhs(const Matrix& contact_voltages, std::size_t j0, std::size_t kc) const {
+    Matrix b(nx * ny * nz, kc);
+    for (std::size_t j = 0; j < kc; ++j)
+      for (std::size_t c = 0; c < contact_nodes.size(); ++c)
+        for (const std::size_t node : contact_nodes[c])
+          b(node, j) += g_contact * contact_voltages(c, j0 + j);
+    return b;
   }
 
   // Shared volume-solve core: contact-voltage columns -> interior voltage
-  // columns, one blocked PCG per chunk of <= kMaxSolveBlock columns.
+  // columns, one blocked PCG per chunk of <= kMaxSolveBlock columns. The
+  // operator is one row-partitioned SpMM per iteration; the preconditioner
+  // one blockwise apply_many. A single column skips the block machinery
+  // (k x k Gram solves, deflation bookkeeping, Matrix temporaries) and
+  // runs the scalar-recurrence pcg() — substantially cheaper per iteration
+  // at equal arithmetic per operator apply.
   Matrix solve_volume_block(const Matrix& contact_voltages) const {
     const std::size_t nodes = nx * ny * nz;
     const std::size_t k = contact_voltages.cols();
     Matrix x(nodes, k);
-    const bool has_precond = fast_precond || multigrid || use_ic;
-    for (std::size_t j0 = 0; j0 < k; j0 += kMaxSolveBlock) {
-      const std::size_t kc = std::min(kMaxSolveBlock, k - j0);
-      Matrix b(nodes, kc);
-      for (std::size_t j = 0; j < kc; ++j)
-        for (std::size_t c = 0; c < contact_nodes.size(); ++c)
-          for (const std::size_t node : contact_nodes[c])
-            b(node, j) += g_contact * contact_voltages(c, j0 + j);
-
-      BlockIterStats stats;
-      const LinearOpMany op = [&](const Matrix& p) { return apply_many(p); };
-      const LinearOpMany pre =
-          has_precond ? LinearOpMany([&](const Matrix& r) { return precondition_many(r); })
-                      : LinearOpMany();
-      const Matrix xc = pcg_block(
+    if (k == 1) {
+      const Vector b = assemble_rhs(contact_voltages, 0, 1).col(0);
+      IterStats stats;
+      const LinearOp op = [&](const Vector& p) { return a.apply(p); };
+      const LinearOp pre = precond
+          ? LinearOp([&](const Vector& r) { return precond->apply(r); })
+          : LinearOp();
+      const Vector xv = pcg(
           op, b, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
           &stats, pre);
-      SUBSPAR_ENSURE(stats.converged);
+      if (!stats.converged) throw_not_converged(stats.relative_residual);
+      total_iterations += static_cast<long>(stats.iterations);
+      stat_solves += 1;
+      x.set_col(0, xv);
+      return x;
+    }
+    for (std::size_t j0 = 0; j0 < k; j0 += kMaxSolveBlock) {
+      const std::size_t kc = std::min(kMaxSolveBlock, k - j0);
+      const Matrix b = assemble_rhs(contact_voltages, j0, kc);
+      BlockIterStats stats;
+      const LinearOpMany op = [&](const Matrix& p) { return a.apply_many(p); };
+      const Matrix xc = pcg_block(
+          op, b, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
+          &stats, precond.get());
+      if (!stats.converged) throw_not_converged(stats.max_relative_residual);
       total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
       stat_solves += static_cast<long>(kc);
       for (std::size_t j = 0; j < kc; ++j)
@@ -228,13 +254,15 @@ FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOp
   }
   im.a = SparseMatrix(bld);
 
-  // Preconditioner setup.
+  // Preconditioner setup: every branch is a Preconditioner instance the
+  // blocked PCG applies to whole residual blocks.
   switch (options.precond) {
     case FdPreconditioner::kNone:
       break;
     case FdPreconditioner::kIncompleteCholesky:
-      im.ic_factor = ic0(im.a);
-      im.use_ic = true;
+      im.precond = std::make_unique<Ic0Preconditioner>(
+          im.a, options.reorder == SparseReorder::kRcm ? rcm_ordering(im.a)
+                                                       : std::vector<std::size_t>{});
       break;
     case FdPreconditioner::kMultigrid: {
       GridSpec spec;
@@ -248,7 +276,11 @@ FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOp
         if (is_contact[k]) spec.g_top[k] = im.g_contact;
       spec.g_bottom = g_bottom;
       if (!options.wells.empty()) spec.removed = removed;
-      im.multigrid = std::make_unique<GridMultigrid>(std::move(spec));
+      MultigridOptions mg_options;
+      mg_options.smoother = options.mg_smoother;
+      mg_options.smoothing_sweeps = options.mg_smoothing_sweeps;
+      im.multigrid = std::make_unique<GridMultigrid>(std::move(spec), mg_options);
+      im.precond = std::make_unique<MultigridPreconditioner>(*im.multigrid);
       break;
     }
     default: {
@@ -269,7 +301,7 @@ FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOp
       pg.vertical_g = gz;
       pg.top_g = p * im.g_contact;
       pg.bottom_g = g_bottom;
-      im.fast_precond = std::make_unique<FastPoisson3D>(std::move(pg));
+      im.precond = std::make_unique<FastPoissonPreconditioner>(std::move(pg));
       break;
     }
   }
@@ -281,9 +313,15 @@ std::size_t FdSolver::n_contacts() const { return impl_->layout.n_contacts(); }
 
 std::string FdSolver::cache_tag() const {
   const FdSolverOptions& o = impl_->options;
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "|%a|%d|%a|%zu|%d", o.grid_h, static_cast<int>(o.precond),
-                o.rel_tol, o.max_iterations, o.ghost_half_spacing ? 1 : 0);
+  char buf[160];
+  // The sparse-engine knobs (reorder, multigrid smoother/sweeps) cannot
+  // change the operator G beyond solver tolerance, but they select
+  // different preconditioners — digest them so perf A/B runs get distinct
+  // cache entries too.
+  std::snprintf(buf, sizeof buf, "|%a|%d|%a|%zu|%d|%d|%d|%d", o.grid_h,
+                static_cast<int>(o.precond), o.rel_tol, o.max_iterations,
+                o.ghost_half_spacing ? 1 : 0, static_cast<int>(o.reorder),
+                static_cast<int>(o.mg_smoother), o.mg_smoothing_sweeps);
   std::string tag = name() + buf;
   for (const SubstrateWell& w : o.wells) {
     std::snprintf(buf, sizeof buf, "|%a,%a,%a,%a,%a", w.x0, w.y0, w.width, w.height, w.depth);

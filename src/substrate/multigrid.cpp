@@ -1,9 +1,11 @@
 #include "substrate/multigrid.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/cholesky.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
 
@@ -93,6 +95,9 @@ GridSpec coarsen(const GridSpec& f, bool cx, bool cy, bool cz) {
 }  // namespace
 
 GridMultigrid::GridMultigrid(GridSpec fine, MultigridOptions options) : options_(options) {
+  // Zero sweeps would leave M^{-1} = P Ac^{-1} R: rank-deficient, so PCG's
+  // rho = z'r can vanish with r != 0 and the recurrence divides by zero.
+  SUBSPAR_REQUIRE(options_.smoothing_sweeps >= 1 && options_.max_levels >= 1);
   Level lvl;
   lvl.spec = std::move(fine);
   lvl.a = assemble_grid_laplacian(lvl.spec);
@@ -127,6 +132,13 @@ GridMultigrid::GridMultigrid(GridSpec fine, MultigridOptions options) : options_
       }
       SUBSPAR_ENSURE(found && l.a.value(l.diag[i]) > 0.0);
     }
+    // Red-black parity classes: the 7-point stencil couples only nodes of
+    // opposite (x + y + z) parity, so each class smooths in parallel.
+    const GridSpec& sp = l.spec;
+    for (std::size_t z = 0; z < sp.nz; ++z)
+      for (std::size_t y = 0; y < sp.ny; ++y)
+        for (std::size_t x = 0; x < sp.nx; ++x)
+          ((x + y + z) % 2 == 0 ? l.red : l.black).push_back(sp.index(x, y, z));
   }
   coarse_solver_ = std::make_unique<Cholesky>(levels_.back().a.to_dense());
 }
@@ -135,78 +147,147 @@ GridMultigrid::~GridMultigrid() = default;
 
 const SparseMatrix& GridMultigrid::fine_matrix() const { return levels_.front().a; }
 
-void GridMultigrid::smooth(const Level& lvl, Vector& x, const Vector& b, bool forward) const {
+namespace {
+/// Rows per parallel red-black smoothing task (fixed chunking keeps the
+/// row -> task map independent of the pool size).
+constexpr std::size_t kSmoothRowChunk = 256;
+}  // namespace
+
+// One Gauss-Seidel half-sweep on all k columns: each relaxed row updates
+// its contiguous k-column slice in place. Lexicographic mode relaxes rows
+// serially (ascending forward, descending backward); red-black mode
+// relaxes one parity class at a time with the rows of a class fanned out
+// across the pool — rows of a class never couple, so the result is
+// schedule-independent. Per-column arithmetic is identical in batched and
+// single-vector use.
+void GridMultigrid::smooth_many(const Level& lvl, Matrix& x, const Matrix& b,
+                                bool forward) const {
   const SparseMatrix& a = lvl.a;
   const std::size_t n = a.rows();
-  for (std::size_t t = 0; t < n; ++t) {
-    const std::size_t i = forward ? t : n - 1 - t;
-    double s = b[i];
-    for (std::size_t k = a.row_begin(i); k < a.row_end(i); ++k) {
-      const std::size_t j = a.col_index(k);
-      if (j != i) s -= a.value(k) * x[j];
+  const std::size_t k = x.cols();
+  auto relax_row = [&](std::size_t i) {
+    const double* brow = b.row_ptr(i);
+    double* xi = x.row_ptr(i);
+    const double d = a.value(lvl.diag[i]);
+    const std::size_t e0 = a.row_begin(i), e1 = a.row_end(i);
+    // Scalar reduction per column in ascending entry order (diagonal
+    // skipped): the same operation sequence for every k, so batched
+    // columns relax bit-identically to 1-column sweeps. xi[j] is written
+    // only after its reduction completes.
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = brow[j];
+      for (std::size_t e = e0; e < e1; ++e) {
+        const std::size_t c = a.col_index(e);
+        if (c != i) s -= a.value(e) * x.row_ptr(c)[j];
+      }
+      xi[j] = s / d;
     }
-    x[i] = s / a.value(lvl.diag[i]);
+  };
+  if (options_.smoother == MultigridSmoother::kGaussSeidel) {
+    for (std::size_t t = 0; t < n; ++t) relax_row(forward ? t : n - 1 - t);
+    return;
+  }
+  // Symmetric red-black: red then black forward, black then red backward.
+  const std::vector<std::size_t>* phases[2] = {&lvl.red, &lvl.black};
+  if (!forward) std::swap(phases[0], phases[1]);
+  for (const auto* phase : phases) {
+    const std::size_t chunks = (phase->size() + kSmoothRowChunk - 1) / kSmoothRowChunk;
+    parallel_for(chunks, [&](std::size_t t) {
+      const std::size_t i0 = t * kSmoothRowChunk;
+      const std::size_t i1 = std::min(phase->size(), i0 + kSmoothRowChunk);
+      for (std::size_t q = i0; q < i1; ++q) relax_row((*phase)[q]);
+    });
   }
 }
 
-Vector GridMultigrid::restrict_to_coarse(std::size_t fl, const Vector& r) const {
+// Batched restriction: each coarse node gathers its merged fine children
+// (up to 2^3, enumerated z-major then y then x — the same accumulation
+// order as a fine-lexicographic scatter), for all k columns at once.
+// Coarse rows are partitioned in fixed chunks over the pool; each output
+// row is produced by exactly one task.
+Matrix GridMultigrid::restrict_to_coarse(std::size_t fl, const Matrix& r) const {
   const Level& f = levels_[fl];
   const GridSpec& fs = f.spec;
   const GridSpec& cs = levels_[fl + 1].spec;
-  Vector rc(cs.size());
-  for (std::size_t z = 0; z < fs.nz; ++z)
-    for (std::size_t y = 0; y < fs.ny; ++y)
-      for (std::size_t x = 0; x < fs.nx; ++x)
-        rc[cs.index(f.cx ? x / 2 : x, f.cy ? y / 2 : y, f.cz ? z / 2 : z)] +=
-            r[fs.index(x, y, z)];
-  // Scale so R = P' / 2 (conductance halves per refinement: the Galerkin-
-  // consistent weight for piecewise-constant P on a resistor grid).
-  rc *= 0.5;
+  const std::size_t k = r.cols();
+  Matrix rc(cs.size(), k);
+  const std::size_t rows = cs.ny * cs.nz;  // one task unit = one coarse x-row
+  parallel_for(rows, [&](std::size_t t) {
+    const std::size_t cy = t % cs.ny, cz = t / cs.ny;
+    for (std::size_t cxn = 0; cxn < cs.nx; ++cxn) {
+      double* out = rc.row_ptr(cs.index(cxn, cy, cz));
+      const std::size_t z0 = f.cz ? 2 * cz : cz, z1 = f.cz ? z0 + 2 : z0 + 1;
+      const std::size_t y0 = f.cy ? 2 * cy : cy, y1 = f.cy ? y0 + 2 : y0 + 1;
+      const std::size_t x0 = f.cx ? 2 * cxn : cxn, x1 = f.cx ? x0 + 2 : x0 + 1;
+      for (std::size_t z = z0; z < z1; ++z)
+        for (std::size_t y = y0; y < y1; ++y)
+          for (std::size_t x = x0; x < x1; ++x) {
+            const double* in = r.row_ptr(fs.index(x, y, z));
+            for (std::size_t j = 0; j < k; ++j) out[j] += in[j];
+          }
+      // Scale so R = P' / 2 (conductance halves per refinement: the
+      // Galerkin-consistent weight for piecewise-constant P on a resistor
+      // grid).
+      for (std::size_t j = 0; j < k; ++j) out[j] *= 0.5;
+    }
+  });
   return rc;
 }
 
-Vector GridMultigrid::prolong_to_fine(std::size_t fl, const Vector& xc) const {
+// Piecewise-constant prolongation added in place: x_f += P x_c, all k
+// columns per fine row at once.
+void GridMultigrid::prolong_add_to_fine(std::size_t fl, Matrix& xf, const Matrix& xc) const {
   const Level& f = levels_[fl];
   const GridSpec& fs = f.spec;
   const GridSpec& cs = levels_[fl + 1].spec;
-  Vector xf(fs.size());
-  for (std::size_t z = 0; z < fs.nz; ++z)
-    for (std::size_t y = 0; y < fs.ny; ++y)
-      for (std::size_t x = 0; x < fs.nx; ++x)
-        xf[fs.index(x, y, z)] =
-            xc[cs.index(f.cx ? x / 2 : x, f.cy ? y / 2 : y, f.cz ? z / 2 : z)];
-  return xf;
+  const std::size_t k = xf.cols();
+  const std::size_t rows = fs.ny * fs.nz;
+  parallel_for(rows, [&](std::size_t t) {
+    const std::size_t y = t % fs.ny, z = t / fs.ny;
+    for (std::size_t x = 0; x < fs.nx; ++x) {
+      double* out = xf.row_ptr(fs.index(x, y, z));
+      const double* in =
+          xc.row_ptr(cs.index(f.cx ? x / 2 : x, f.cy ? y / 2 : y, f.cz ? z / 2 : z));
+      for (std::size_t j = 0; j < k; ++j) out[j] += in[j];
+    }
+  });
 }
 
-void GridMultigrid::cycle(std::size_t level, Vector& x, const Vector& b) const {
+void GridMultigrid::cycle_many(std::size_t level, Matrix& x, const Matrix& b) const {
   if (level + 1 == levels_.size()) {
+    // Coarsest grid: the dense Cholesky factored once at construction
+    // back-solves the whole block.
     x = coarse_solver_->solve(b);
     return;
   }
   const Level& lvl = levels_[level];
-  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth(lvl, x, b, /*forward=*/true);
-  const Vector r = b - lvl.a.apply(x);
-  const Vector rc = restrict_to_coarse(level, r);
-  Vector xc(rc.size());
-  cycle(level + 1, xc, rc);
-  x += prolong_to_fine(level, xc);
-  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth(lvl, x, b, /*forward=*/false);
+  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth_many(lvl, x, b, /*forward=*/true);
+  const Matrix r = b - lvl.a.apply_many(x);
+  const Matrix rc = restrict_to_coarse(level, r);
+  Matrix xc(rc.rows(), rc.cols());
+  cycle_many(level + 1, xc, rc);
+  prolong_add_to_fine(level, x, xc);
+  for (int s = 0; s < options_.smoothing_sweeps; ++s) smooth_many(lvl, x, b, /*forward=*/false);
+}
+
+Matrix GridMultigrid::vcycle_many(const Matrix& b) const {
+  SUBSPAR_REQUIRE(b.rows() == levels_.front().spec.size());
+  Matrix x(b.rows(), b.cols());
+  if (b.cols() > 0) cycle_many(0, x, b);
+  return x;
 }
 
 Vector GridMultigrid::vcycle(const Vector& b) const {
-  SUBSPAR_REQUIRE(b.size() == levels_.front().spec.size());
-  Vector x(b.size());
-  cycle(0, x, b);
-  return x;
+  Matrix bm(b.size(), 1);
+  bm.set_col(0, b);
+  return vcycle_many(bm).col(0);
 }
 
 Vector GridMultigrid::solve(const Vector& b, std::size_t cycles) const {
   Vector x(b.size());
   for (std::size_t c = 0; c < cycles; ++c) {
     const Vector r = b - levels_.front().a.apply(x);
-    Vector dx(b.size());
-    cycle(0, dx, r);
-    x += dx;
+    x += vcycle(r);
   }
   return x;
 }

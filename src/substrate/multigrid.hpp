@@ -8,15 +8,23 @@
 // profiles and the contact/backplane couplings re-sampled per level — the
 // "dealing with layer boundaries in the coarse-grid representation" issue
 // the thesis calls out is handled by conductance-preserving aggregation.
-// Smoothing is symmetric Gauss-Seidel and restriction is the transpose of
-// piecewise-constant prolongation (scaled), so one V-cycle is a symmetric
-// positive operator usable directly as a PCG preconditioner.
+// Smoothing is symmetric Gauss-Seidel (lexicographic, or red-black for
+// parallel sweeps) and restriction is the transpose of piecewise-constant
+// prolongation (scaled), so one V-cycle is a symmetric positive operator
+// usable directly as a PCG preconditioner.
+//
+// The engine entry point is vcycle_many: all k right-hand sides descend
+// the hierarchy together — one smoothing sweep, one restriction, one
+// coarse solve (dense Cholesky, factored once at construction) per level
+// per *block* instead of per vector, with each row's k columns swept
+// contiguously.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "linalg/iterative.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/vector.hpp"
 
@@ -42,10 +50,17 @@ struct GridSpec {
 /// nodes).
 SparseMatrix assemble_grid_laplacian(const GridSpec& spec);
 
+/// Gauss-Seidel sweep ordering inside one smoothing pass.
+enum class MultigridSmoother {
+  kGaussSeidel,  ///< lexicographic symmetric GS: serial rows, columns batched
+  kRedBlack,     ///< red-black GS: each color's rows sweep in parallel
+};
+
 struct MultigridOptions {
   int max_levels = 8;
   std::size_t coarsest_max_nodes = 600;  ///< dense Cholesky below this
   int smoothing_sweeps = 1;              ///< symmetric GS pre/post sweeps
+  MultigridSmoother smoother = MultigridSmoother::kGaussSeidel;
 };
 
 class GridMultigrid {
@@ -54,8 +69,13 @@ class GridMultigrid {
   ~GridMultigrid();
 
   /// One V-cycle applied to b from a zero initial guess: the preconditioner
-  /// action M^{-1} b.
+  /// action M^{-1} b. Single-vector wrapper over vcycle_many.
   Vector vcycle(const Vector& b) const;
+
+  /// One V-cycle on k right-hand sides at once (the columns of b): the
+  /// whole block descends each level together. Column j is bit-identical
+  /// to vcycle_many of that column alone, for any SUBSPAR_THREADS.
+  Matrix vcycle_many(const Matrix& b) const;
 
   /// Stand-alone iterative solve by repeated V-cycles (residual-corrected),
   /// mostly for tests; returns the iterate after `cycles` cycles.
@@ -69,17 +89,29 @@ class GridMultigrid {
     GridSpec spec;
     SparseMatrix a;
     std::vector<std::size_t> diag;  // CSR index of the diagonal per row
+    std::vector<std::size_t> red, black;      // (x+y+z) parity classes
     bool cx = false, cy = false, cz = false;  // which dims the next level halves
   };
 
-  void smooth(const Level& lvl, Vector& x, const Vector& b, bool forward) const;
-  Vector restrict_to_coarse(std::size_t fine_level, const Vector& r) const;
-  Vector prolong_to_fine(std::size_t fine_level, const Vector& xc) const;
-  void cycle(std::size_t level, Vector& x, const Vector& b) const;
+  void smooth_many(const Level& lvl, Matrix& x, const Matrix& b, bool forward) const;
+  Matrix restrict_to_coarse(std::size_t fine_level, const Matrix& r) const;
+  void prolong_add_to_fine(std::size_t fine_level, Matrix& xf, const Matrix& xc) const;
+  void cycle_many(std::size_t level, Matrix& x, const Matrix& b) const;
 
   MultigridOptions options_;
   std::vector<Level> levels_;
   std::unique_ptr<class Cholesky> coarse_solver_;
+};
+
+/// A GridMultigrid V-cycle behind the blockwise Preconditioner interface
+/// (non-owning; the multigrid must outlive the preconditioner).
+class MultigridPreconditioner final : public Preconditioner {
+ public:
+  explicit MultigridPreconditioner(const GridMultigrid& mg) : mg_(&mg) {}
+  Matrix apply_many(const Matrix& r) const override { return mg_->vcycle_many(r); }
+
+ private:
+  const GridMultigrid* mg_;
 };
 
 }  // namespace subspar

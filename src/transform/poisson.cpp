@@ -5,6 +5,7 @@
 #include "transform/dct.hpp"
 #include "transform/fft.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace subspar {
 namespace {
@@ -104,6 +105,13 @@ Vector FastPoisson3D::solve(const Vector& b) const {
   transform_dim(a, g, /*dim=*/1, /*forward=*/false);
   transform_dim(a, g, /*dim=*/0, /*forward=*/false);
   return Vector(std::move(a));
+}
+
+Matrix FastPoisson3D::solve_many(const Matrix& b) const {
+  SUBSPAR_REQUIRE(b.rows() == grid_.size());
+  Matrix x(b.rows(), b.cols());
+  parallel_for(b.cols(), [&](std::size_t j) { x.set_col(j, solve(b.col(j))); });
+  return x;
 }
 
 Vector FastPoisson3D::apply(const Vector& x) const {

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace subspar {
@@ -46,6 +47,11 @@ class FastPoisson3D {
   /// or bottom anchors), the all-constant mode is regularized by a tiny
   /// anchor so M stays usable as an SPD preconditioner.
   Vector solve(const Vector& b) const;
+
+  /// X = M^{-1} B for k right-hand-side columns, fanned out over the
+  /// util/parallel pool. Per-column arithmetic is exactly solve()'s, so
+  /// columns are bit-identical to single solves for any SUBSPAR_THREADS.
+  Matrix solve_many(const Matrix& b) const;
 
   /// y = M x (real-space stencil application) for validation.
   Vector apply(const Vector& x) const;

@@ -466,6 +466,31 @@ TEST(PcgBlock, SolvesAllColumnsWithDeflation) {
   EXPECT_DOUBLE_EQ(norm2(x.col(4)), 0.0);
 }
 
+TEST(PcgBlock, ConsumesPreconditionerInterface) {
+  // pcg_block takes a blockwise Preconditioner; with the exact inverse as
+  // M^{-1} the whole block converges in O(1) iterations.
+  Rng rng(56);
+  const Matrix a = random_spd(30, rng);
+  const Cholesky chol(a);
+  const Matrix b = random_matrix(30, 4, rng);
+  const FunctionPreconditioner pre([&](const Matrix& r) { return chol.solve(r); });
+  BlockIterStats st;
+  const Matrix x = pcg_block([&](const Matrix& p) { return matmul(a, p); }, b,
+                             {.rel_tol = 1e-10, .max_iterations = 50}, &st, &pre);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LE(st.iterations, 3u);
+  EXPECT_LT((matmul(a, x) - b).max_abs(), 1e-7 * b.max_abs());
+}
+
+TEST(Preconditioner, SingleVectorApplyWrapsApplyMany) {
+  Rng rng(57);
+  const Matrix m = random_spd(12, rng);
+  const FunctionPreconditioner pre([&](const Matrix& r) { return matmul(m, r); });
+  const Vector v = random_matrix(12, 1, rng).col(0);
+  const Vector z = pre.apply(v);
+  EXPECT_LT(norm2(z - matvec(m, v)), 1e-14 * norm2(z));
+}
+
 TEST(Gmres, SolvesNonsymmetricSystem) {
   Rng rng(20);
   Matrix a = random_matrix(25, 25, rng);
