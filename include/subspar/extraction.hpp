@@ -54,6 +54,7 @@ void validate(const ExtractionRequest& request);
 struct PhaseTiming {
   std::string phase;
   double seconds = 0.0;
+  long solves = 0;  ///< black-box solves consumed by the phase
 };
 
 /// Structured account of one extraction: what it cost and what it produced,
@@ -69,6 +70,12 @@ struct ExtractionReport {
   double solve_reduction = 0.0;  ///< n / solves that built the model
   bool from_cache = false;       ///< true when served by a ModelCache hit
   std::vector<PhaseTiming> phases;
+  /// How the model's change of basis was built: "wavelet", "column-sampling"
+  /// or "block-krylov" (empty on cache hits, which skip the build).
+  std::string basis_scheme;
+  /// Adaptive rank trajectory of the kBlockKrylov row-basis build, one entry
+  /// per (level, sketch round); empty for the other schemes.
+  std::vector<RbkStep> rank_trajectory;
 
   /// One-line human-readable digest.
   std::string summary() const;

@@ -21,17 +21,23 @@ void validate(const ExtractionRequest& request) {
   SUBSPAR_REQUIRE(request.lowrank.sigma_rel_tol > 0.0 && request.lowrank.sigma_rel_tol <= 1.0);
   SUBSPAR_REQUIRE(request.lowrank.u_sigma_rel_tol > 0.0 &&
                   request.lowrank.u_sigma_rel_tol <= 1.0);
+  SUBSPAR_REQUIRE(request.lowrank.rbk.block_size >= 1);
+  SUBSPAR_REQUIRE(request.lowrank.rbk.max_iters >= 1);
+  SUBSPAR_REQUIRE(request.lowrank.rbk.target_tol > 0.0 && request.lowrank.rbk.target_tol < 1.0);
 }
 
 std::string ExtractionReport::summary() const {
   std::ostringstream out;
   out << "n = " << n << ", solves = " << solves << " (reduction " << solve_reduction
-      << "x), sparsity(G_w) = " << gw_sparsity << ", sparsity(Q) = " << q_sparsity
-      << ", " << (from_cache ? "cache hit in " : "build = ") << seconds << " s";
+      << "x), sparsity(G_w) = " << gw_sparsity << ", sparsity(Q) = " << q_sparsity;
+  if (!basis_scheme.empty()) out << ", basis = " << basis_scheme;
+  out << ", " << (from_cache ? "cache hit in " : "build = ") << seconds << " s";
   if (!phases.empty()) {
     out << " [";
-    for (std::size_t i = 0; i < phases.size(); ++i)
+    for (std::size_t i = 0; i < phases.size(); ++i) {
       out << (i ? ", " : "") << phases[i].phase << " " << phases[i].seconds << " s";
+      if (phases[i].solves > 0) out << " / " << phases[i].solves << " solves";
+    }
     out << "]";
   }
   return out.str();
@@ -57,15 +63,19 @@ ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
   const long solves_before = solver_->solve_count();
   Timer total;
   Timer phase_timer;
+  long phase_solves_mark = solves_before;
   const auto phase_done = [&](const char* name) {
     const double s = phase_timer.seconds();
-    report.phases.push_back({name, s});
+    const long solves = solver_->solve_count() - phase_solves_mark;
+    report.phases.push_back({name, s, solves});
     if (request.progress) request.progress(name, s);
     phase_timer.reset();
+    phase_solves_mark = solver_->solve_count();
   };
 
   SparseMatrix q, gw;
   if (request.method == SparsifyMethod::kWavelet) {
+    report.basis_scheme = "wavelet";
     const WaveletBasis basis(*tree_, request.moment_order);
     phase_done("wavelet-basis");
     WaveletExtraction ex = wavelet_extract_combined(*solver_, basis);
@@ -73,7 +83,11 @@ ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
     gw = std::move(ex.gws);
     phase_done("combine-extract");
   } else {
+    report.basis_scheme = request.lowrank.basis == RowBasisScheme::kBlockKrylov
+                              ? "block-krylov"
+                              : "column-sampling";
     const RowBasisRep rep(*solver_, *tree_, request.lowrank);
+    report.rank_trajectory = rep.trajectory();
     phase_done("row-basis");
     const LowRankBasis basis(rep);
     phase_done("fine-to-coarse");

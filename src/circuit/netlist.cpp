@@ -1,5 +1,11 @@
 #include "circuit/netlist.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
 namespace subspar {
 
 NodeId Netlist::add_node(std::string name) {
@@ -51,6 +57,110 @@ void Netlist::set_current_source(std::size_t k, double amps) {
 void Netlist::set_voltage_source(std::size_t k, double volts) {
   SUBSPAR_REQUIRE(k < vsrc_.size());
   vsrc_[k].v = volts;
+}
+
+// ------------------------------------------------------------ text format
+
+namespace {
+
+std::string node_token(const Netlist& nl, NodeId n) {
+  return n == kGround ? std::string("0") : nl.node_name(n);
+}
+
+std::string value_token(double v) {
+  // %.17g round-trips every finite double through strtod.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_value(const std::string& token) {
+  const char* s = token.c_str();
+  char* end = nullptr;
+  const double base = std::strtod(s, &end);
+  SUBSPAR_REQUIRE(end != s);  // token must start with a number
+  std::string suffix;
+  for (const char* p = end; *p != '\0'; ++p)
+    suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (suffix.empty()) return base;
+  if (suffix == "meg") return base * 1e6;  // before the 'm' (milli) match
+  switch (suffix[0]) {
+    case 'f': return base * 1e-15;
+    case 'p': return base * 1e-12;
+    case 'n': return base * 1e-9;
+    case 'u': return base * 1e-6;
+    case 'm': return base * 1e-3;
+    case 'k': return base * 1e3;
+    case 'g': return base * 1e9;
+    case 't': return base * 1e12;
+    default: break;
+  }
+  SUBSPAR_REQUIRE(!"unknown value suffix in netlist card");
+  return 0.0;
+}
+
+}  // namespace
+
+std::string format_netlist(const Netlist& nl) {
+  std::ostringstream out;
+  out << "* subspar netlist: " << nl.n_nodes() << " nodes\n";
+  std::size_t k = 0;
+  for (const auto& r : nl.resistors())
+    out << "R" << ++k << " " << node_token(nl, r.a) << " " << node_token(nl, r.b) << " "
+        << value_token(1.0 / r.g) << "\n";
+  k = 0;
+  for (const auto& c : nl.capacitors())
+    out << "C" << ++k << " " << node_token(nl, c.a) << " " << node_token(nl, c.b) << " "
+        << value_token(c.c) << "\n";
+  k = 0;
+  for (const auto& i : nl.current_sources())
+    out << "I" << ++k << " " << node_token(nl, i.a) << " " << node_token(nl, i.b) << " "
+        << value_token(i.i) << "\n";
+  k = 0;
+  for (const auto& v : nl.voltage_sources())
+    out << "V" << ++k << " " << node_token(nl, v.a) << " " << node_token(nl, v.b) << " "
+        << value_token(v.v) << "\n";
+  out << ".end\n";
+  return out.str();
+}
+
+Netlist parse_netlist(const std::string& text) {
+  Netlist nl;
+  std::map<std::string, NodeId> nodes;
+  const auto node_of = [&](const std::string& token) {
+    if (token == "0" || token == "gnd" || token == "GND") return kGround;
+    const auto it = nodes.find(token);
+    if (it != nodes.end()) return it->second;
+    const NodeId id = nl.add_node(token);
+    nodes.emplace(token, id);
+    return id;
+  };
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream card(line);
+    std::string head;
+    if (!(card >> head)) continue;          // blank line
+    if (head[0] == '*') continue;           // comment
+    if (head == ".end" || head == ".END") continue;
+    std::string a, b, value;
+    card >> a >> b >> value;
+    SUBSPAR_REQUIRE(!value.empty());  // every card is <name> <node> <node> <value>
+    std::string trailing;
+    SUBSPAR_REQUIRE(!(card >> trailing));
+    const NodeId na = node_of(a);
+    const NodeId nb = node_of(b);
+    const double v = parse_value(value);
+    switch (std::toupper(static_cast<unsigned char>(head[0]))) {
+      case 'R': nl.add_resistor(na, nb, v); break;
+      case 'C': nl.add_capacitor(na, nb, v); break;
+      case 'I': nl.add_current_source(na, nb, v); break;
+      case 'V': nl.add_voltage_source(na, nb, v); break;
+      default: SUBSPAR_REQUIRE(!"unknown netlist card type");
+    }
+  }
+  return nl;
 }
 
 }  // namespace subspar

@@ -72,4 +72,20 @@ class Netlist {
   std::vector<VoltageSource> vsrc_;
 };
 
+/// Serializes a netlist as SPICE-style cards, one element per line
+/// (`R1 a b 1000`, `C1 out 0 1e-06`, ...), ground spelled `0`. The output
+/// round-trips through parse_netlist: element order, node names, and values
+/// (printed with enough digits to be exact) are all preserved.
+std::string format_netlist(const Netlist& netlist);
+
+/// Parses SPICE-style cards into a Netlist. Supported cards: R (resistor),
+/// C (capacitor), I (current source, current flows first -> second node),
+/// V (voltage source), each as `<card><name> <node> <node> <value>`. Blank
+/// lines, `*` comment lines, and a trailing `.end` are ignored; node `0`
+/// (or `gnd`) is ground; other node tokens name nodes, created in order of
+/// first reference. Values accept the usual engineering suffixes
+/// (f p n u m k meg g t, case-insensitive). Throws std::invalid_argument
+/// (via SUBSPAR_REQUIRE) on malformed cards.
+Netlist parse_netlist(const std::string& text);
+
 }  // namespace subspar

@@ -1,0 +1,136 @@
+#include "lowrank/rbk_basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "substrate/solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace subspar {
+
+std::size_t rbk_adaptive_rank(const Vector& sigma, double target_tol, std::size_t max_rank,
+                              std::size_t dim) {
+  SUBSPAR_REQUIRE(target_tol > 0.0);
+  double total = 0.0;
+  for (const double s : sigma) total += s * s;
+  if (total == 0.0) return 0;
+  const std::size_t cap = std::min(max_rank, dim);
+  const double budget = target_tol * target_tol * total;
+  double tail = total;
+  for (std::size_t r = 0; r < sigma.size(); ++r) {
+    if (r >= cap) return cap;
+    if (tail <= budget) return r;
+    tail -= sigma[r] * sigma[r];
+  }
+  return std::min(sigma.size(), cap);
+}
+
+double rbk_subspace_residual(const Matrix& v, const Matrix& samples) {
+  const double total = samples.frobenius_norm();
+  if (total == 0.0) return 0.0;
+  if (v.cols() == 0) return 1.0;
+  Matrix resid = samples;
+  const Matrix coeff = matmul_tn(v, samples);
+  matmul_add(resid, v, coeff, -1.0);  // S - V (V'S)
+  return resid.frobenius_norm() / total;
+}
+
+Matrix rbk_gaussian_probes(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix omega(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) omega(i, j) = rng.normal();
+  // QR re-orthonormalization: probe columns with unit norm and no mutual
+  // overlap spread the response energy evenly, which keeps the residual
+  // certificate well scaled. Wide blocks (cols > rows) stay raw — QR would
+  // need rows >= cols — and are truncated by the caller's rank caps anyway.
+  if (rows >= cols && cols > 0) return QR(omega).thin_q();
+  return omega;
+}
+
+std::uint64_t rbk_stream_seed(std::uint64_t seed, int level, int round, int ix, int iy) {
+  // SplitMix64-style finalization over the tuple so each (block, round)
+  // draws an independent stream regardless of which other blocks probe.
+  std::uint64_t z = seed;
+  const auto mix = [&z](std::uint64_t v) {
+    z += 0x9e3779b97f4a7c15ULL + v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+  };
+  mix(static_cast<std::uint64_t>(level));
+  mix(static_cast<std::uint64_t>(round));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ix)));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(iy)));
+  return z;
+}
+
+RbkRange rbk_range(const std::function<Matrix(const Matrix&)>& apply_many, std::size_t n,
+                   const RbkOptions& options, std::size_t max_rank, std::uint64_t seed) {
+  SUBSPAR_REQUIRE(n > 0 && options.block_size >= 1 && options.max_iters >= 1);
+  SUBSPAR_REQUIRE(options.target_tol > 0.0 && options.target_tol < 1.0);
+  const std::size_t b = std::min(options.block_size, n);
+
+  RbkRange out;
+  Matrix samples(n, 0);
+
+  const auto record = [&](int round, std::size_t probes, double residual) {
+    RbkStep step;
+    step.level = 0;
+    step.round = round;
+    step.probe_columns = probes;
+    step.active_blocks = 1;
+    step.max_rank = out.basis.cols();
+    step.mean_rank = static_cast<double>(out.basis.cols());
+    step.max_residual = residual;
+    out.trajectory.push_back(step);
+  };
+
+  // Round 0: the Gaussian sketch.
+  {
+    const Matrix omega = rbk_gaussian_probes(n, b, rbk_stream_seed(seed, 0, 0, 0, 0));
+    const Matrix y = apply_many(omega);
+    out.applies += omega.cols();
+    samples = Matrix::hcat(samples, y);
+    const Svd dec = svd(samples);
+    const std::size_t r = rbk_adaptive_rank(dec.sigma, options.target_tol, max_rank, n);
+    out.basis = dec.u.block(0, 0, n, r);
+    record(0, omega.cols(), 1.0);
+  }
+
+  // Krylov rounds: probe [V | fresh Gaussian block]. The V columns push the
+  // sketch one power of G deeper (V spans previous responses, so G V adds
+  // G^2-filtered directions); the fresh Gaussian columns supply the
+  // independent responses the residual certificate is measured on.
+  for (std::size_t round = 1; round <= options.max_iters; ++round) {
+    const Matrix fresh =
+        rbk_gaussian_probes(n, b, rbk_stream_seed(seed, 0, static_cast<int>(round), 0, 0));
+    const Matrix probes = Matrix::hcat(out.basis, fresh);
+    const Matrix y = apply_many(probes);
+    out.applies += probes.cols();
+    const Matrix y_fresh = y.block(0, out.basis.cols(), n, fresh.cols());
+    const double residual = rbk_subspace_residual(out.basis, y_fresh);
+    samples = Matrix::hcat(samples, y);
+    if (residual <= options.target_tol) {
+      record(static_cast<int>(round), probes.cols(), residual);
+      out.converged = true;
+      return out;
+    }
+    const Svd dec = svd(samples);
+    const std::size_t r = rbk_adaptive_rank(dec.sigma, options.target_tol, max_rank, n);
+    out.basis = dec.u.block(0, 0, n, r);
+    record(static_cast<int>(round), probes.cols(), residual);
+  }
+  return out;
+}
+
+RbkRange rbk_range(const SubstrateSolver& solver, const RbkOptions& options,
+                   std::size_t max_rank, std::uint64_t seed) {
+  return rbk_range([&](const Matrix& x) { return solver.solve_many(x); },
+                   solver.n_contacts(), options, max_rank, seed);
+}
+
+}  // namespace subspar

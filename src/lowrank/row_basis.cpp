@@ -1,5 +1,7 @@
 #include "lowrank/row_basis.hpp"
 #include <algorithm>
+#include <memory>
+#include <set>
 
 
 #include "linalg/qr.hpp"
@@ -52,8 +54,50 @@ RowBasisRep::RowBasisRep(const SubstrateSolver& solver, const QuadTree& tree,
     : tree_(&tree), options_(options) {
   SUBSPAR_REQUIRE(options.max_rank >= 1);
   const long before = solver.solve_count();
-  build_level2(solver);
-  for (int lev = 3; lev <= tree.max_level(); ++lev) build_level(solver, lev);
+  if (options_.basis == RowBasisScheme::kBlockKrylov) {
+    // Level 2 probes solve directly (responses are full contact vectors);
+    // finer levels go through the splitting method like the deterministic
+    // build. Phase-2 machinery (finest W blocks) is shared.
+    build_rbk_level(2, [&](const std::map<SquareId, Matrix>& batches) {
+      const std::size_t n = tree_->layout().n_contacts();
+      auto spans = std::make_shared<std::map<SquareId, std::pair<std::size_t, std::size_t>>>();
+      std::size_t total = 0;
+      for (const auto& [t, x] : batches) {
+        spans->emplace(t, std::make_pair(total, x.cols()));
+        total += x.cols();
+      }
+      Matrix rhs(n, total);
+      for (const auto& [t, x] : batches) {
+        const auto& ids = contacts(t);
+        const std::size_t off = spans->at(t).first;
+        for (std::size_t c = 0; c < x.cols(); ++c)
+          for (std::size_t i = 0; i < ids.size(); ++i) rhs(ids[i], off + c) = x(i, c);
+      }
+      auto resp = std::make_shared<Matrix>(total > 0 ? solver.solve_many(rhs) : Matrix(n, 0));
+      return [this, spans, resp](const SquareId& t, const SquareId& q) {
+        const auto [off, width] = spans->at(t);
+        const auto& qids = contacts(q);
+        Matrix out(qids.size(), width);
+        for (std::size_t c = 0; c < width; ++c)
+          for (std::size_t i = 0; i < qids.size(); ++i) out(i, c) = (*resp)(qids[i], off + c);
+        return out;
+      };
+    });
+    for (int lev = 3; lev <= tree.max_level(); ++lev) {
+      build_rbk_level(lev, [&, lev](const std::map<SquareId, Matrix>& batches) {
+        auto resp = std::make_shared<std::map<SquareId, ResponseBlocks>>(
+            split_responses(solver, lev, batches));
+        return [this, resp, lev](const SquareId& t, const SquareId& q) {
+          const SquareId qc = tree_->ancestor(q, lev - 1);
+          const Matrix& block = resp->at(t).at(qc);
+          return restrict_rows(block, positions_in(contacts(q), contacts(qc)));
+        };
+      });
+    }
+  } else {
+    build_level2(solver);
+    for (int lev = 3; lev <= tree.max_level(); ++lev) build_level(solver, lev);
+  }
   build_finest(solver);
   solves_ = solver.solve_count() - before;
 }
@@ -279,6 +323,177 @@ std::map<SquareId, RowBasisRep::ResponseBlocks> RowBasisRep::split_responses(
     }
   }
   return out;
+}
+
+// ------------------------------------------------ randomized block-Krylov
+
+std::vector<SquareId> RowBasisRep::rbk_sample_sources(const SquareId& s) const {
+  std::vector<SquareId> sources = tree_->interactive(s);
+  if (sources.empty() && s.level == 2) {
+    // Same degenerate-layout fallback as build_level2: sample from every
+    // non-local square.
+    for (const SquareId& t : tree_->squares(2))
+      if (!QuadTree::adjacent_or_same(t, s)) sources.push_back(t);
+  }
+  return sources;
+}
+
+void RowBasisRep::build_rbk_level(int level, const RbkOracle& oracle) {
+  const QuadTree& tree = *tree_;
+  const RbkOptions& rbk = options_.rbk;
+  SUBSPAR_REQUIRE(rbk.block_size >= 1 && rbk.max_iters >= 1);
+  SUBSPAR_REQUIRE(rbk.target_tol > 0.0 && rbk.target_tol < 1.0);
+
+  struct State {
+    std::vector<SquareId> sources;
+    Matrix basis;
+    Matrix samples;
+    bool fullrank = false;  // n_s <= max_rank: identity basis, no sketch
+    bool done = false;
+  };
+  std::map<SquareId, State> states;
+  const auto squares = tree.squares(level);
+  for (const SquareId& s : squares) {
+    const std::size_t ns = contacts(s).size();
+    State st;
+    st.sources = rbk_sample_sources(s);
+    st.fullrank = ns <= options_.max_rank;
+    st.basis = st.fullrank ? Matrix::identity(ns) : Matrix(ns, 0);
+    st.samples = Matrix(ns, 0);
+    states.emplace(s, std::move(st));
+  }
+
+  // Rank fill from the sketch spectrum uses the same sigma_rel_tol ratio
+  // test as the deterministic build, so kept ranks (and G_w accuracy) track
+  // it; target_tol only drives the accept/refine certification.
+  const auto refine = [&](State& st, std::size_t ns) {
+    const Svd dec = svd(st.samples);
+    const std::size_t r =
+        std::min({numerical_rank(dec.sigma, options_.sigma_rel_tol), options_.max_rank, ns});
+    st.basis = dec.u.block(0, 0, ns, r);
+  };
+  const auto record_step = [&](int round, std::size_t probe_cols, std::size_t active,
+                               double max_resid) {
+    RbkStep step;
+    step.level = level;
+    step.round = round;
+    step.probe_columns = probe_cols;
+    step.active_blocks = active;
+    double sum = 0.0;
+    for (const SquareId& s : squares) {
+      const std::size_t r = states.at(s).basis.cols();
+      step.max_rank = std::max(step.max_rank, r);
+      sum += static_cast<double>(r);
+    }
+    step.mean_rank = squares.empty() ? 0.0 : sum / static_cast<double>(squares.size());
+    step.max_residual = max_resid;
+    trajectory_.push_back(step);
+  };
+
+  // Round 0: the Gaussian sketch, only for squares above the rank cap —
+  // full-rank squares take the exact identity basis and skip the sampling
+  // pass entirely (below level 2 this removes every sample solve on the
+  // paper's grids).
+  std::vector<SquareId> sketching;
+  for (const SquareId& s : squares)
+    if (!states.at(s).fullrank && !states.at(s).sources.empty()) sketching.push_back(s);
+  if (!sketching.empty()) {
+    std::set<SquareId> probe_set;
+    for (const SquareId& s : sketching)
+      for (const SquareId& t : states.at(s).sources) probe_set.insert(t);
+    std::map<SquareId, Matrix> batches;
+    std::size_t probe_cols = 0;
+    for (const SquareId& t : probe_set) {
+      Matrix omega = rbk_gaussian_probes(contacts(t).size(), rbk.block_size,
+                                         rbk_stream_seed(options_.seed, level, 0, t.ix, t.iy));
+      probe_cols += omega.cols();
+      batches.emplace(t, std::move(omega));
+    }
+    const RbkBlockFn block = oracle(batches);
+    for (const SquareId& s : sketching) {
+      State& st = states.at(s);
+      for (const SquareId& t : st.sources) st.samples = Matrix::hcat(st.samples, block(t, s));
+      refine(st, contacts(s).size());
+    }
+    record_step(0, probe_cols, sketching.size(), 1.0);
+  }
+
+  // Krylov rounds. Every pending square places its candidate basis, so the
+  // round doubles as the basis-response recording pass AND as fresh sample
+  // generation for the interactive neighbors — certification costs no
+  // extra solves in the happy path. Sources of squares that failed the
+  // previous certification append fresh Gaussian columns after their
+  // candidates for an independent retry.
+  std::set<SquareId> failed_prev;
+  for (std::size_t round = 1; round <= rbk.max_iters; ++round) {
+    std::vector<SquareId> pending;
+    for (const SquareId& s : squares)
+      if (!states.at(s).done) pending.push_back(s);
+    if (pending.empty()) break;
+
+    std::set<SquareId> fresh_set;
+    for (const SquareId& s : failed_prev)
+      for (const SquareId& t : states.at(s).sources) fresh_set.insert(t);
+
+    std::map<SquareId, Matrix> batches;
+    std::size_t probe_cols = 0;
+    for (const SquareId& t : squares) {
+      const State& st = states.at(t);
+      Matrix batch = st.done ? Matrix(contacts(t).size(), 0) : st.basis;
+      if (fresh_set.count(t) > 0) {
+        const Matrix fresh = rbk_gaussian_probes(
+            contacts(t).size(), rbk.block_size,
+            rbk_stream_seed(options_.seed, level, static_cast<int>(round), t.ix, t.iy));
+        batch = Matrix::hcat(batch, fresh);
+      }
+      // Pending squares participate even with zero columns so their (empty)
+      // response blocks get recorded like the deterministic build's.
+      if (batch.cols() > 0 || !st.done) {
+        probe_cols += batch.cols();
+        batches.emplace(t, std::move(batch));
+      }
+    }
+    const RbkBlockFn block = oracle(batches);
+
+    std::set<SquareId> failed_now;
+    double max_resid = 0.0;
+    for (const SquareId& s : pending) {
+      State& st = states.at(s);
+      const std::size_t ns = contacts(s).size();
+      Matrix fresh_samples(ns, 0);
+      for (const SquareId& t : st.sources) {
+        const auto it = batches.find(t);
+        if (it != batches.end() && it->second.cols() > 0)
+          fresh_samples = Matrix::hcat(fresh_samples, block(t, s));
+      }
+      const double resid =
+          fresh_samples.cols() > 0 ? rbk_subspace_residual(st.basis, fresh_samples) : 0.0;
+      max_resid = std::max(max_resid, resid);
+      // Accept on certification, when the rank budget is saturated (more
+      // rounds cannot widen the basis, and the one-shot sketch at the cap
+      // already matches the deterministic build's quality), at sample
+      // starvation (no source placed probes), or on the last round.
+      const bool saturated = st.basis.cols() >= std::min(options_.max_rank, ns);
+      if (resid <= rbk.target_tol || saturated || round == rbk.max_iters) {
+        SquareRep rep;
+        rep.v = st.basis;
+        auto region = tree.local(s);
+        for (const SquareId& q : tree.interactive(s)) region.push_back(q);
+        for (const SquareId& q : region) {
+          const Matrix resp = block(s, q);
+          rep.response.emplace(q, resp.block(0, 0, resp.rows(), st.basis.cols()));
+        }
+        reps_.emplace(s, std::move(rep));
+        st.done = true;
+      } else {
+        st.samples = Matrix::hcat(st.samples, fresh_samples);
+        refine(st, ns);
+        failed_now.insert(s);
+      }
+    }
+    record_step(static_cast<int>(round), probe_cols, pending.size(), max_resid);
+    failed_prev = std::move(failed_now);
+  }
 }
 
 // ---------------------------------------------------------- finer levels

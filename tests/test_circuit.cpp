@@ -147,6 +147,87 @@ TEST(CircuitSim, SparsifiedCouplingMatchesDenseCoupling) {
   EXPECT_NEAR(v_sparse, v_dense, 5e-3 * std::abs(v_dense) + 1e-12);
 }
 
+TEST(NetlistText, FormatParseRoundTrip) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  const NodeId aux = nl.add_node();  // auto-named
+  nl.add_voltage_source(in, kGround, 2.5);
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_resistor(out, aux, 47.5);
+  nl.add_capacitor(out, kGround, 1e-6);
+  nl.add_current_source(kGround, aux, 3e-3);
+
+  const std::string text = format_netlist(nl);
+  const Netlist back = parse_netlist(text);
+  ASSERT_EQ(back.n_nodes(), nl.n_nodes());
+  ASSERT_EQ(back.resistors().size(), nl.resistors().size());
+  ASSERT_EQ(back.capacitors().size(), nl.capacitors().size());
+  ASSERT_EQ(back.current_sources().size(), nl.current_sources().size());
+  ASSERT_EQ(back.voltage_sources().size(), nl.voltage_sources().size());
+  // Every element's topology survives by NAME (ids may renumber with the
+  // order of first reference), and the values survive to the last digit.
+  const auto name = [](const Netlist& n, NodeId id) {
+    return id == kGround ? std::string("0") : n.node_name(id);
+  };
+  for (std::size_t i = 0; i < nl.resistors().size(); ++i) {
+    EXPECT_EQ(name(back, back.resistors()[i].a), name(nl, nl.resistors()[i].a));
+    EXPECT_EQ(name(back, back.resistors()[i].b), name(nl, nl.resistors()[i].b));
+    EXPECT_DOUBLE_EQ(back.resistors()[i].g, nl.resistors()[i].g);
+  }
+  EXPECT_EQ(name(back, back.capacitors()[0].a), "out");
+  EXPECT_EQ(back.capacitors()[0].c, 1e-6);
+  EXPECT_EQ(back.current_sources()[0].i, 3e-3);
+  EXPECT_EQ(back.voltage_sources()[0].v, 2.5);
+  // The text form is a fixed point of parse/format after the first trip.
+  const std::string text2 = format_netlist(back);
+  EXPECT_EQ(format_netlist(parse_netlist(text2)), text2);
+}
+
+TEST(NetlistText, ParsesHandWrittenCardsWithSuffixes) {
+  const Netlist nl = parse_netlist(
+      "* RC divider, hand-written\n"
+      "V1 vin 0 5\n"
+      "R1 vin vout 4.7k\n"
+      "R2 vout 0 9400\n"
+      "C1 vout gnd 2.2u\n"
+      "I1 0 vout 1m\n"
+      ".end\n");
+  ASSERT_EQ(nl.n_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(1.0 / nl.resistors()[0].g, 4700.0);
+  EXPECT_DOUBLE_EQ(1.0 / nl.resistors()[1].g, 9400.0);
+  EXPECT_DOUBLE_EQ(nl.capacitors()[0].c, 2.2e-6);
+  EXPECT_DOUBLE_EQ(nl.current_sources()[0].i, 1e-3);
+  EXPECT_DOUBLE_EQ(nl.voltage_sources()[0].v, 5.0);
+  // Ground accepted as both 0 and gnd.
+  EXPECT_EQ(nl.capacitors()[0].b, kGround);
+
+  // Malformed cards are rejected, not silently skipped.
+  EXPECT_THROW(parse_netlist("R1 a b\n"), std::invalid_argument);          // missing value
+  EXPECT_THROW(parse_netlist("R1 a b 10 extra\n"), std::invalid_argument); // trailing junk
+  EXPECT_THROW(parse_netlist("X1 a b 10\n"), std::invalid_argument);       // unknown card
+  EXPECT_THROW(parse_netlist("R1 a b 10q\n"), std::invalid_argument);      // bad suffix
+  EXPECT_THROW(parse_netlist("R1 a b ohms\n"), std::invalid_argument);     // not a number
+}
+
+TEST(NetlistText, ParsedRcTransientMatchesAnalytic) {
+  // The RC step-response circuit, entering the simulator from TEXT: charge
+  // a 1 ms time-constant RC from a 1 V step and compare with
+  // 1 - exp(-t / RC).
+  Netlist nl = parse_netlist(
+      "V1 src 0 0\n"
+      "R1 src out 1k\n"
+      "C1 out 0 1u\n");
+  CircuitSim sim(nl);
+  const double dt = 5e-5;
+  const auto tr = sim.transient(dt, 60, {1},
+                                [](double, Netlist& net) { net.set_voltage_source(0, 1.0); });
+  for (std::size_t k = 0; k < tr.time.size(); ++k) {
+    const double expect = 1.0 - std::exp(-tr.time[k] / 1e-3);
+    EXPECT_NEAR(tr.probe_voltages[k][0], expect, 0.03);
+  }
+}
+
 TEST(CircuitSim, TransientRcDecayMatchesAnalytic) {
   // Step-charge a capacitor through a resistor: the source is 0 at the DC
   // operating point and steps to 1 V for t > 0, so the backward-Euler
