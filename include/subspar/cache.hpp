@@ -22,13 +22,10 @@
 
 namespace subspar {
 
-/// Hit/miss counters (hits include disk loads; disk_loads counts the subset
-/// of hits served from the persist directory rather than memory).
-struct CacheStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;
-  std::size_t disk_loads = 0;
-};
+/// Cumulative cache-event counters (see CacheEvents in
+/// subspar/extraction.hpp); kept under the seed-era name for callers that
+/// spell ModelCache::stats()'s type out.
+using CacheStats = CacheEvents;
 
 /// Deterministic content hash (16 hex digits) of everything that determines
 /// an extraction: the layout (panel grid + contact rectangles), the stack
@@ -51,9 +48,13 @@ class ModelCache {
   /// In-memory cache only.
   ModelCache() = default;
   /// Also persists under `persist_dir` (created if absent) as
-  /// model-<key>.txt files via the core/io layer, and serves cold lookups
-  /// from there. An unreadable/corrupt file is treated as a miss and
-  /// overwritten by the fresh extraction.
+  /// model-<key>.txt files via the core/io layer (checksummed, written
+  /// atomically), and serves cold lookups from there. An unreadable,
+  /// truncated, bit-flipped, or dimension-mismatched file is quarantined
+  /// (renamed to <file>.quarantined for post-mortem) and transparently
+  /// re-extracted; the fresh extraction then publishes a good file under
+  /// the original name. Callers never see the corruption as an error —
+  /// only as counters (stats(), report.cache) and a report.fallbacks line.
   explicit ModelCache(std::string persist_dir);
 
   /// Returns the cached result for (solver.cache_tag(), layout, stack,

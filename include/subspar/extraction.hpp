@@ -16,12 +16,14 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/extractor.hpp"
 #include "geometry/quadtree.hpp"
 #include "substrate/solver.hpp"
+#include "subspar/status.hpp"
 
 namespace subspar {
 
@@ -50,11 +52,31 @@ struct ExtractionRequest {
 /// field. Called by Extractor::extract (and ModelCache) on every request.
 void validate(const ExtractionRequest& request);
 
-/// One completed pipeline phase.
+/// One completed pipeline phase, including the solver diagnostics the phase
+/// accumulated (per-phase deltas of SolverDiagnostics). On a healthy run
+/// `converged` is true and the retry/fallback counters are zero.
 struct PhaseTiming {
   std::string phase;
   double seconds = 0.0;
   long solves = 0;  ///< black-box solves consumed by the phase
+  long iterations = 0;  ///< inner PCG iterations spent inside the phase
+  bool converged = true;  ///< false if any iterative attempt hit max_iterations
+  long retries = 0;  ///< fallback-chain restarts (incl. tighter-precond restarts)
+  long fallback_columns = 0;  ///< columns recovered by the dense direct fallback
+  double worst_residual = 0.0;  ///< worst verified residual among recovered columns
+};
+
+/// Cache-event counters: per-request in ExtractionReport::cache (only the
+/// fields touched by that request are nonzero), cumulative in
+/// ModelCache::stats(). Hits include disk loads; disk_loads counts the
+/// subset of hits served from the persist directory rather than memory.
+struct CacheEvents {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t disk_loads = 0;
+  std::size_t corruptions = 0;      ///< persisted files that failed load/validation
+  std::size_t quarantines = 0;      ///< corrupt files renamed aside (.quarantined)
+  std::size_t write_failures = 0;   ///< persist writes that failed (result still served)
 };
 
 /// Structured account of one extraction: what it cost and what it produced,
@@ -76,6 +98,17 @@ struct ExtractionReport {
   /// Adaptive rank trajectory of the kBlockKrylov row-basis build, one entry
   /// per (level, sketch round); empty for the other schemes.
   std::vector<RbkStep> rank_trajectory;
+  /// One line per degradation the pipeline recovered from (solver fallback
+  /// chains, RBK per-square fallbacks, quarantined cache files). Empty on a
+  /// healthy run — the model is within the deterministic route's error
+  /// bound either way, these record *how* it got there.
+  std::vector<std::string> fallbacks;
+  /// Non-fatal advisories (e.g. columns that hit max_iterations but were
+  /// recovered); also echoed to stderr as one-line warnings.
+  std::vector<std::string> warnings;
+  /// Cache events attributable to this request (all zero when no ModelCache
+  /// was involved).
+  CacheEvents cache;
 
   /// One-line human-readable digest.
   std::string summary() const;
@@ -102,7 +135,18 @@ class Extractor {
 
   /// Runs the pipeline: validate -> method dispatch -> optional threshold.
   /// Deterministic for a fixed request (seeding comes from the request).
+  /// Throws std::invalid_argument for an invalid request and
+  /// ExtractionException (subspar/status.hpp) when every fallback in the
+  /// recovery chain is exhausted; recovered degradations are reported via
+  /// report.fallbacks instead of thrown.
   ExtractionResult extract(const ExtractionRequest& request = {}) const;
+
+  /// Exception-free variant: runs the same pipeline but returns failures as
+  /// a Status (kInvalidRequest / kSolverNonConvergence / kNumericalBreakdown
+  /// / kInternal) instead of throwing. On success emplaces into *out and
+  /// returns a success Status; on failure *out is reset.
+  Status try_extract(const ExtractionRequest& request,
+                     std::optional<ExtractionResult>* out) const;
 
   const SubstrateSolver& solver() const { return *solver_; }
   const QuadTree& tree() const { return *tree_; }
@@ -111,6 +155,8 @@ class Extractor {
   double tree_build_seconds() const { return tree_seconds_; }
 
  private:
+  ExtractionResult extract_impl(const ExtractionRequest& request) const;
+
   const SubstrateSolver* solver_;
   std::unique_ptr<QuadTree> owned_tree_;
   const QuadTree* tree_;

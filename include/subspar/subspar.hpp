@@ -6,6 +6,7 @@
 //   subspar/substrate.hpp   substrate stack + black-box solver interface
 //   subspar/solvers.hpp     solver registry/factory (make_solver)
 //   subspar/extraction.hpp  ExtractionRequest -> Extractor -> ExtractionResult
+//   subspar/status.hpp      ErrorCode/ExtractionError/Status error model
 //   subspar/model.hpp       SparsifiedModel + save_model/load_model
 //   subspar/cache.hpp       keyed ModelCache (memoized + persisted models)
 //   subspar/report.hpp      accuracy/sparsity scoring vs exact columns
@@ -37,6 +38,7 @@
 #include "subspar/model.hpp"
 #include "subspar/report.hpp"
 #include "subspar/solvers.hpp"
+#include "subspar/status.hpp"
 #include "subspar/substrate.hpp"
 #include "subspar/transform.hpp"
 #include "subspar/util.hpp"

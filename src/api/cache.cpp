@@ -5,11 +5,26 @@
 
 #include "core/io.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
 
 namespace subspar {
 namespace {
+
+/// Renames a corrupt persisted model to '<path>.quarantined' (keeping only
+/// the most recent specimen) so it can be examined post-mortem instead of
+/// being silently overwritten. Rename failures are swallowed — quarantine
+/// is best-effort and must never turn a recoverable corruption into an
+/// error; the fresh extraction overwrites the bad file in that case.
+bool quarantine(const std::string& path) {
+  std::error_code ec;
+  const std::string aside = path + ".quarantined";
+  std::filesystem::remove(aside, ec);
+  ec.clear();
+  std::filesystem::rename(path, aside, ec);
+  return !ec;
+}
 
 ExtractionReport hit_report(const SparsifiedModel& model, double lookup_seconds) {
   ExtractionReport report;
@@ -69,13 +84,19 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return ExtractionResult{it->second.model, hit_report(it->second.model, timer.seconds())};
+      ExtractionReport report = hit_report(it->second.model, timer.seconds());
+      report.cache.hits = 1;
+      return ExtractionResult{it->second.model, std::move(report)};
     }
   }
+  CacheEvents events;  // events of this request, folded into stats_ at the end
+  std::string corrupt_note;
   if (!persist_dir_.empty()) {
     const std::string path = persist_path(key);
     if (std::filesystem::exists(path)) {
       try {
+        if (fault_fire(FaultSite::kCacheRead))
+          throw ModelIoError("get_or_extract: injected cache-read fault on '" + path + "'");
         SparsifiedModel model = load_model(path);
         // A renamed/copied file can be internally consistent yet belong to
         // a different extraction; size it against the requesting solver and
@@ -85,12 +106,22 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
         ++stats_.hits;
         ++stats_.disk_loads;
         ExtractionReport report = hit_report(model, timer.seconds());
+        report.cache.hits = 1;
+        report.cache.disk_loads = 1;
         auto [it, inserted] = entries_.insert_or_assign(key, Entry{std::move(model)});
         (void)inserted;
         return ExtractionResult{it->second.model, std::move(report)};
-      } catch (const std::exception&) {
-        // Corrupt/unreadable persisted model: fall through to a fresh
-        // extraction, which overwrites the bad file below.
+      } catch (const std::exception& e) {
+        // Corrupt, truncated, bit-flipped, torn, or mismatched persisted
+        // model: quarantine the file for post-mortem, then fall through to
+        // a fresh extraction, which publishes a good file under the
+        // original name. The caller sees counters and a fallbacks line,
+        // never an error.
+        ++events.corruptions;
+        if (quarantine(path)) ++events.quarantines;
+        corrupt_note =
+            "cache: quarantined corrupt model file '" + path + "' (" + e.what() +
+            "); re-extracted";
       }
     }
   }
@@ -103,10 +134,17 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
       // An unwritable persist directory must not discard a successful
       // extraction: keep serving from memory, retry the write on the next
       // miss of this key (if any).
+      ++events.write_failures;
     }
   }
+  events.misses = 1;
+  result.report.cache = events;
+  if (!corrupt_note.empty()) result.report.fallbacks.push_back(corrupt_note);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  stats_.corruptions += events.corruptions;
+  stats_.quarantines += events.quarantines;
+  stats_.write_failures += events.write_failures;
   entries_.insert_or_assign(key, Entry{result.model});
   return result;
 }

@@ -1,8 +1,11 @@
 #include "subspar/extraction.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
+#include "linalg/robust.hpp"
 #include "lowrank/extract.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -11,6 +14,18 @@
 #include "wavelet/pattern.hpp"
 
 namespace subspar {
+namespace {
+
+// Phase-boundary guard: numerical garbage must surface as a typed error
+// here, never as a silently wrong model downstream.
+bool sparse_all_finite(const SparseMatrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t k = m.row_begin(i); k < m.row_end(i); ++k)
+      if (!std::isfinite(m.value(k))) return false;
+  return true;
+}
+
+}  // namespace
 
 void validate(const ExtractionRequest& request) {
   SUBSPAR_REQUIRE(request.moment_order >= 0);
@@ -31,6 +46,7 @@ std::string ExtractionReport::summary() const {
   out << "n = " << n << ", solves = " << solves << " (reduction " << solve_reduction
       << "x), sparsity(G_w) = " << gw_sparsity << ", sparsity(Q) = " << q_sparsity;
   if (!basis_scheme.empty()) out << ", basis = " << basis_scheme;
+  if (!fallbacks.empty()) out << ", fallbacks = " << fallbacks.size();
   out << ", " << (from_cache ? "cache hit in " : "build = ") << seconds << " s";
   if (!phases.empty()) {
     out << " [";
@@ -58,16 +74,76 @@ Extractor::Extractor(const SubstrateSolver& solver, const QuadTree& tree)
 }
 
 ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
-  validate(request);
+  validate(request);  // stays a plain std::invalid_argument, outside the wrap
+  try {
+    return extract_impl(request);
+  } catch (const ExtractionException&) {
+    throw;
+  } catch (const SolverConvergenceError& e) {
+    throw ExtractionException({ErrorCode::kSolverNonConvergence, "solve", e.what()});
+  } catch (const std::exception& e) {
+    throw ExtractionException({ErrorCode::kInternal, "extract", e.what()});
+  }
+}
+
+Status Extractor::try_extract(const ExtractionRequest& request,
+                              std::optional<ExtractionResult>* out) const {
+  SUBSPAR_REQUIRE(out != nullptr);
+  out->reset();
+  try {
+    out->emplace(extract(request));
+    return Status();
+  } catch (const ExtractionException& e) {
+    return Status(e.error());
+  } catch (const std::invalid_argument& e) {
+    return Status({ErrorCode::kInvalidRequest, "validate", e.what()});
+  } catch (const std::exception& e) {
+    return Status({ErrorCode::kInternal, "extract", e.what()});
+  }
+}
+
+ExtractionResult Extractor::extract_impl(const ExtractionRequest& request) const {
   ExtractionReport report;
   const long solves_before = solver_->solve_count();
   Timer total;
   Timer phase_timer;
   long phase_solves_mark = solves_before;
+  SolverDiagnostics diag_mark = solver_->diagnostics();
   const auto phase_done = [&](const char* name) {
     const double s = phase_timer.seconds();
     const long solves = solver_->solve_count() - phase_solves_mark;
-    report.phases.push_back({name, s, solves});
+    const SolverDiagnostics now = solver_->diagnostics();
+    PhaseTiming pt;
+    pt.phase = name;
+    pt.seconds = s;
+    pt.solves = solves;
+    pt.iterations = now.iterations - diag_mark.iterations;
+    const long hits = now.max_iteration_hits - diag_mark.max_iteration_hits;
+    const long retries = now.restarts - diag_mark.restarts;
+    const long tighter = now.tighter_restarts - diag_mark.tighter_restarts;
+    const long direct = now.direct_columns - diag_mark.direct_columns;
+    const long nonfinite = now.nonfinite_recoveries - diag_mark.nonfinite_recoveries;
+    pt.converged = hits == 0;
+    pt.retries = retries;
+    pt.fallback_columns = direct;
+    if (hits + retries + direct + nonfinite > 0) pt.worst_residual = now.worst_residual;
+    report.phases.push_back(pt);
+    if (hits > 0) {
+      std::ostringstream w;
+      w << "phase '" << name << "': " << hits
+        << " iterative attempt(s) hit max_iterations; recovered by the fallback chain";
+      std::fprintf(stderr, "subspar: warning: %s\n", w.str().c_str());
+      report.warnings.push_back(w.str());
+    }
+    if (retries + direct + nonfinite > 0) {
+      std::ostringstream f;
+      f << "solver: phase '" << name << "': " << retries << " restart(s) (" << tighter
+        << " with a tighter preconditioner), " << direct << " direct-solve column(s), "
+        << nonfinite << " non-finite recovery(ies); worst verified residual "
+        << now.worst_residual;
+      report.fallbacks.push_back(f.str());
+    }
+    diag_mark = now;
     if (request.progress) request.progress(name, s);
     phase_timer.reset();
     phase_solves_mark = solver_->solve_count();
@@ -88,6 +164,13 @@ ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
                               : "column-sampling";
     const RowBasisRep rep(*solver_, *tree_, request.lowrank);
     report.rank_trajectory = rep.trajectory();
+    if (rep.rbk_fallback_squares() > 0) {
+      std::ostringstream f;
+      f << "rbk: " << rep.rbk_fallback_squares()
+        << " square(s) never certified and fell back to the deterministic "
+           "sampling basis (trajectory rounds max_iters+1/+2)";
+      report.fallbacks.push_back(f.str());
+    }
     phase_done("row-basis");
     const LowRankBasis basis(rep);
     phase_done("fine-to-coarse");
@@ -95,6 +178,11 @@ ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
     q = basis.q();
     phase_done("gw-fill");
   }
+  if (!sparse_all_finite(q) || !sparse_all_finite(gw))
+    throw ExtractionException(
+        {ErrorCode::kNumericalBreakdown, "assemble",
+         "non-finite entries in the assembled Q/G_w factors (numerical garbage "
+         "crossed a phase boundary)"});
   if (request.threshold_sparsity_multiple > 1.0) {
     const auto target = static_cast<std::size_t>(static_cast<double>(gw.nnz()) /
                                                  request.threshold_sparsity_multiple);

@@ -1,0 +1,27 @@
+#include "subspar/status.hpp"
+
+namespace subspar {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidRequest: return "invalid-request";
+    case ErrorCode::kSolverNonConvergence: return "solver-non-convergence";
+    case ErrorCode::kNumericalBreakdown: return "numerical-breakdown";
+    case ErrorCode::kCacheCorruption: return "cache-corruption";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string ExtractionError::message() const {
+  std::string out = error_code_name(code);
+  if (!phase.empty()) out += " in phase '" + phase + "'";
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::string Status::message() const { return ok() ? "ok" : error_.message(); }
+
+}  // namespace subspar

@@ -1,9 +1,11 @@
 #include "circuit/netlist.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace subspar {
@@ -74,29 +76,46 @@ std::string value_token(double v) {
   return buf;
 }
 
-double parse_value(const std::string& token) {
+// Parse errors carry the 1-based source line so a bad card in a generated
+// netlist can be found without bisecting the file. std::invalid_argument
+// keeps seed-era catch sites working.
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& detail) {
+  throw std::invalid_argument("parse_netlist: line " + std::to_string(line_no) + ": " + detail);
+}
+
+double parse_value(const std::string& token, std::size_t line_no) {
   const char* s = token.c_str();
   char* end = nullptr;
   const double base = std::strtod(s, &end);
-  SUBSPAR_REQUIRE(end != s);  // token must start with a number
+  if (end == s) fail_line(line_no, "value '" + token + "' does not start with a number");
   std::string suffix;
   for (const char* p = end; *p != '\0'; ++p)
     suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
-  if (suffix.empty()) return base;
-  if (suffix == "meg") return base * 1e6;  // before the 'm' (milli) match
-  switch (suffix[0]) {
-    case 'f': return base * 1e-15;
-    case 'p': return base * 1e-12;
-    case 'n': return base * 1e-9;
-    case 'u': return base * 1e-6;
-    case 'm': return base * 1e-3;
-    case 'k': return base * 1e3;
-    case 'g': return base * 1e9;
-    case 't': return base * 1e12;
-    default: break;
+  double scaled = base;
+  if (!suffix.empty()) {
+    if (suffix == "meg") {  // before the 'm' (milli) match
+      scaled = base * 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 'f': scaled = base * 1e-15; break;
+        case 'p': scaled = base * 1e-12; break;
+        case 'n': scaled = base * 1e-9; break;
+        case 'u': scaled = base * 1e-6; break;
+        case 'm': scaled = base * 1e-3; break;
+        case 'k': scaled = base * 1e3; break;
+        case 'g': scaled = base * 1e9; break;
+        case 't': scaled = base * 1e12; break;
+        default:
+          fail_line(line_no,
+                    "unknown engineering suffix '" + suffix + "' in value '" + token + "'");
+      }
+    }
   }
-  SUBSPAR_REQUIRE(!"unknown value suffix in netlist card");
-  return 0.0;
+  // Catches both a literal out of double range (strtod saturates to inf)
+  // and a suffix-scaled overflow like '1e306t'.
+  if (!std::isfinite(scaled))
+    fail_line(line_no, "value '" + token + "' is outside the representable range");
+  return scaled;
 }
 
 }  // namespace
@@ -138,7 +157,11 @@ Netlist parse_netlist(const std::string& text) {
 
   std::istringstream lines(text);
   std::string line;
+  std::size_t line_no = 0;
+  std::size_t cards = 0;
+  std::set<std::string> element_names;  // canonical (upper-cased) card names
   while (std::getline(lines, line)) {
+    ++line_no;
     std::istringstream card(line);
     std::string head;
     if (!(card >> head)) continue;          // blank line
@@ -146,20 +169,41 @@ Netlist parse_netlist(const std::string& text) {
     if (head == ".end" || head == ".END") continue;
     std::string a, b, value;
     card >> a >> b >> value;
-    SUBSPAR_REQUIRE(!value.empty());  // every card is <name> <node> <node> <value>
+    if (value.empty())
+      fail_line(line_no, "card '" + head + "' is incomplete (every card is "
+                         "'<name> <node> <node> <value>')");
     std::string trailing;
-    SUBSPAR_REQUIRE(!(card >> trailing));
+    if (card >> trailing)
+      fail_line(line_no, "trailing token '" + trailing + "' after the value");
+    std::string canon;
+    for (const char c : head)
+      canon += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (!element_names.insert(canon).second)
+      fail_line(line_no, "duplicate definition of element '" + head + "'");
+    const char kind = canon[0];
+    if (kind != 'R' && kind != 'C' && kind != 'I' && kind != 'V')
+      fail_line(line_no, "unknown card type '" + head + "' (expected R/C/I/V)");
     const NodeId na = node_of(a);
     const NodeId nb = node_of(b);
-    const double v = parse_value(value);
-    switch (std::toupper(static_cast<unsigned char>(head[0]))) {
-      case 'R': nl.add_resistor(na, nb, v); break;
-      case 'C': nl.add_capacitor(na, nb, v); break;
-      case 'I': nl.add_current_source(na, nb, v); break;
-      case 'V': nl.add_voltage_source(na, nb, v); break;
-      default: SUBSPAR_REQUIRE(!"unknown netlist card type");
+    const double v = parse_value(value, line_no);
+    try {
+      switch (kind) {
+        case 'R': nl.add_resistor(na, nb, v); break;
+        case 'C': nl.add_capacitor(na, nb, v); break;
+        case 'I': nl.add_current_source(na, nb, v); break;
+        case 'V': nl.add_voltage_source(na, nb, v); break;
+      }
+    } catch (const std::invalid_argument& e) {
+      // Element precondition (non-positive R/C value, a self-loop, ...)
+      // rethrown with the source line attached.
+      fail_line(line_no, std::string("invalid card: ") + e.what());
     }
+    ++cards;
   }
+  if (cards == 0)
+    throw std::invalid_argument(
+        "parse_netlist: no element cards found (empty netlist?) in " +
+        std::to_string(line_no) + " line(s)");
   return nl;
 }
 

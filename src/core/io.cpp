@@ -3,14 +3,21 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
 
 namespace subspar {
 namespace {
 
-constexpr const char* kMagic = "subspar-model v1";
+constexpr const char* kMagicV2 = "subspar-model v2";
+constexpr const char* kMagicV1 = "subspar-model v1";
+constexpr const char* kFooterPrefix = "checksum fnv1a ";
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,10 +26,15 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-[[noreturn]] void fail_load(const std::string& path, const char* section,
+/// `offset` is the byte position the reader had reached when the problem was
+/// detected (-1 when no position applies, e.g. the file cannot be opened).
+[[noreturn]] void fail_load(const std::string& path, const char* section, long offset,
                             const std::string& detail) {
-  throw ModelIoError("load_model('" + path + "'): " + section + ": " + detail);
+  const std::string at = offset >= 0 ? " at byte " + std::to_string(offset) : "";
+  throw ModelIoError("load_model('" + path + "'): " + section + at + ": " + detail);
 }
+
+long tell(std::FILE* f) { return std::ftell(f); }
 
 void write_sparse(std::FILE* f, const SparseMatrix& m) {
   std::fprintf(f, "%zu %zu %zu\n", m.rows(), m.cols(), m.nnz());
@@ -35,18 +47,19 @@ void write_sparse(std::FILE* f, const SparseMatrix& m) {
 SparseMatrix read_sparse(std::FILE* f, const std::string& path, const char* section) {
   std::size_t rows = 0, cols = 0, nnz = 0;
   if (std::fscanf(f, "%zu %zu %zu", &rows, &cols, &nnz) != 3)
-    fail_load(path, section, "missing or unparsable 'rows cols nnz' size line (truncated file?)");
-  if (rows == 0 || cols == 0) fail_load(path, section, "zero matrix dimension");
+    fail_load(path, section, tell(f),
+              "missing or unparsable 'rows cols nnz' size line (truncated file?)");
+  if (rows == 0 || cols == 0) fail_load(path, section, tell(f), "zero matrix dimension");
   // Dimension sanity cap: stops a bit-flipped size line from provoking a
   // multi-GB allocation before the entry checks can catch it (and keeps the
   // nnz <= rows * cols product below overflow).
   constexpr std::size_t kMaxDim = 50'000'000;
   if (rows > kMaxDim || cols > kMaxDim)
-    fail_load(path, section,
+    fail_load(path, section, tell(f),
               "implausible dimensions " + std::to_string(rows) + " x " + std::to_string(cols) +
                   " (corrupt size line?)");
   if (nnz > rows * cols)
-    fail_load(path, section,
+    fail_load(path, section, tell(f),
               "entry count " + std::to_string(nnz) + " exceeds " + std::to_string(rows) + " x " +
                   std::to_string(cols) + " (corrupt size line?)");
   SparseBuilder b(rows, cols);
@@ -54,16 +67,16 @@ SparseMatrix read_sparse(std::FILE* f, const std::string& path, const char* sect
     std::size_t i = 0, j = 0;
     double v = 0.0;
     if (std::fscanf(f, "%zu %zu %la", &i, &j, &v) != 3)
-      fail_load(path, section,
+      fail_load(path, section, tell(f),
                 "file ends or entry is unparsable at entry " + std::to_string(t) + " of " +
                     std::to_string(nnz) + " (truncated file?)");
     if (i >= rows || j >= cols)
-      fail_load(path, section,
+      fail_load(path, section, tell(f),
                 "entry index (" + std::to_string(i) + ", " + std::to_string(j) +
                     ") outside the declared " + std::to_string(rows) + " x " +
                     std::to_string(cols) + " shape (bit flip?)");
     if (!std::isfinite(v))
-      fail_load(path, section, "non-finite value at entry " + std::to_string(t));
+      fail_load(path, section, tell(f), "non-finite value at entry " + std::to_string(t));
     b.add(i, j, v);
   }
   return SparseMatrix(b);
@@ -72,35 +85,117 @@ SparseMatrix read_sparse(std::FILE* f, const std::string& path, const char* sect
 }  // namespace
 
 void save_model(const std::string& path, const SparsifiedModel& model) {
-  File f(std::fopen(path.c_str(), "w"));
-  SUBSPAR_REQUIRE(f != nullptr);
-  std::fprintf(f.get(), "%s\n", kMagic);
-  std::fprintf(f.get(), "%ld %a\n", model.solves_used(), model.build_seconds());
-  write_sparse(f.get(), model.q());
-  write_sparse(f.get(), model.gw());
-  SUBSPAR_ENSURE(std::ferror(f.get()) == 0);
+  // Serialize the payload in memory first so the checksum footer covers
+  // exactly the bytes that land on disk.
+  char* raw = nullptr;
+  std::size_t raw_len = 0;
+  {
+    File mem(open_memstream(&raw, &raw_len));
+    SUBSPAR_REQUIRE(mem != nullptr);
+    std::fprintf(mem.get(), "%s\n", kMagicV2);
+    std::fprintf(mem.get(), "%ld %a\n", model.solves_used(), model.build_seconds());
+    write_sparse(mem.get(), model.q());
+    write_sparse(mem.get(), model.gw());
+    SUBSPAR_ENSURE(std::ferror(mem.get()) == 0);
+  }
+  const std::unique_ptr<char, void (*)(void*)> payload(raw, &std::free);
+  Fnv1a hash;
+  hash.bytes(payload.get(), raw_len);
+
+  // Atomic publish: payload + footer go to a temp file which is then renamed
+  // over the destination. Readers see either the old complete file or the
+  // new complete file, never a torn intermediate.
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "w"));
+    if (f == nullptr)
+      throw ModelIoError("save_model('" + path + "'): cannot open temp file '" + tmp +
+                         "' for writing");
+    const std::size_t written =
+        raw_len == 0 ? 0 : std::fwrite(payload.get(), 1, raw_len, f.get());
+    std::fprintf(f.get(), "%s%s\n", kFooterPrefix, hash.hex().c_str());
+    if (written != raw_len || std::fflush(f.get()) != 0 || std::ferror(f.get()) != 0) {
+      std::remove(tmp.c_str());
+      throw ModelIoError("save_model('" + path + "'): short write to temp file '" + tmp + "'");
+    }
+  }
+  if (fault_fire(FaultSite::kCacheWrite)) {
+    // Injected torn write: the temp file dies before the rename, so the
+    // destination (if any) keeps its previous complete contents.
+    std::remove(tmp.c_str());
+    throw ModelIoError("save_model('" + path + "'): injected cache-write fault before publish");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw ModelIoError("save_model('" + path + "'): rename to destination failed: " +
+                       ec.message());
+  }
 }
 
 SparsifiedModel load_model(const std::string& path) {
-  File f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) fail_load(path, "file", "cannot open for reading");
+  std::string data;
+  {
+    File f(std::fopen(path.c_str(), "rb"));
+    if (f == nullptr) fail_load(path, "file", -1, "cannot open for reading");
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) data.append(buf, n);
+    if (std::ferror(f.get()) != 0)
+      fail_load(path, "file", static_cast<long>(data.size()), "read error");
+  }
+  if (fault_fire(FaultSite::kIo))
+    fail_load(path, "file", 0, "injected io fault while reading");
+  if (data.empty()) fail_load(path, "header", 0, "empty file");
+
+  const bool v2 = data.rfind(std::string(kMagicV2) + "\n", 0) == 0;
+  const bool v1 = !v2 && data.rfind(std::string(kMagicV1) + "\n", 0) == 0;
+  if (!v2 && !v1)
+    fail_load(path, "header", 0,
+              "magic line is neither '" + std::string(kMagicV2) + "' nor the legacy '" +
+                  std::string(kMagicV1) + "'");
+
+  // v2 files carry a whole-payload FNV-1a checksum footer; verify it before
+  // parsing so a bit flip anywhere in the file is caught even where the
+  // per-entry syntax checks would accept the mutated text. Legacy v1 files
+  // (pre-checksum) parse without a footer.
+  std::string payload = std::move(data);
+  if (v2) {
+    const std::size_t pos = payload.rfind(kFooterPrefix);
+    if (pos == std::string::npos || pos == 0 || payload[pos - 1] != '\n')
+      fail_load(path, "checksum footer", static_cast<long>(payload.size()),
+                "missing '" + std::string(kFooterPrefix) +
+                    "<digest>' footer line (truncated file?)");
+    std::string got = payload.substr(pos + std::strlen(kFooterPrefix));
+    while (!got.empty() && (got.back() == '\n' || got.back() == '\r')) got.pop_back();
+    payload.resize(pos);
+    Fnv1a hash;
+    hash.bytes(payload.data(), payload.size());
+    const std::string want = hash.hex();
+    if (got != want)
+      fail_load(path, "checksum footer", static_cast<long>(pos),
+                "content checksum mismatch over " + std::to_string(payload.size()) +
+                    " payload bytes: expected fnv1a " + want + ", got '" + got +
+                    "' (bit flip or torn write?)");
+  }
+
+  File f(fmemopen(payload.data(), payload.size(), "r"));
+  SUBSPAR_REQUIRE(f != nullptr);
   char magic[64] = {};
   if (std::fgets(magic, sizeof magic, f.get()) == nullptr)
-    fail_load(path, "header", "empty file");
-  if (std::string(magic).rfind(kMagic, 0) != 0)
-    fail_load(path, "header",
-              "magic line does not start with '" + std::string(kMagic) + "'");
+    fail_load(path, "header", 0, "empty payload");
   long solves = 0;
   double seconds = 0.0;
   if (std::fscanf(f.get(), "%ld %la", &solves, &seconds) != 2)
-    fail_load(path, "metadata", "missing or unparsable 'solves seconds' line");
-  if (solves < 0) fail_load(path, "metadata", "negative solve count");
+    fail_load(path, "metadata", tell(f.get()), "missing or unparsable 'solves seconds' line");
+  if (solves < 0) fail_load(path, "metadata", tell(f.get()), "negative solve count");
   if (!std::isfinite(seconds) || seconds < 0.0)
-    fail_load(path, "metadata", "invalid build-seconds value");
+    fail_load(path, "metadata", tell(f.get()), "invalid build-seconds value");
   SparseMatrix q = read_sparse(f.get(), path, "Q matrix");
   SparseMatrix gw = read_sparse(f.get(), path, "G_w matrix");
   if (q.rows() != q.cols() || gw.rows() != q.cols() || gw.cols() != q.cols())
-    fail_load(path, "model",
+    fail_load(path, "model", tell(f.get()),
               "inconsistent shapes: Q is " + std::to_string(q.rows()) + " x " +
                   std::to_string(q.cols()) + ", G_w is " + std::to_string(gw.rows()) + " x " +
                   std::to_string(gw.cols()));

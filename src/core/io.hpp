@@ -5,6 +5,14 @@
 // format is a small self-describing text file (exact decimal round trip via
 // hex floats). The ModelCache (subspar/cache.hpp) persists through this
 // layer; key-addressed files are plain save_model output.
+//
+// File format ("subspar-model v2"): a magic line, a 'solves seconds'
+// metadata line, the Q and G_w sparse sections, then a footer line
+// 'checksum fnv1a <16 hex digits>' — the FNV-1a digest of every preceding
+// byte. save_model writes the whole file to '<path>.tmp' and renames it
+// into place, so concurrent readers never observe a torn write. load_model
+// verifies the footer before parsing and still accepts footer-less legacy
+// "subspar-model v1" files.
 #pragma once
 
 #include <stdexcept>
@@ -25,13 +33,17 @@ class ModelIoError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
-/// Writes the model to `path`. Throws on I/O failure.
+/// Writes the model to `path` atomically (temp file + rename) with a
+/// whole-file FNV-1a checksum footer. Throws ModelIoError on I/O failure;
+/// the destination is never left half-written.
 void save_model(const std::string& path, const SparsifiedModel& model);
 
-/// Reads a model written by save_model. Validates the header, the metadata,
-/// both matrix sections (shape sanity, entry counts, index ranges, finite
-/// values), and the cross-section shape consistency; throws ModelIoError
-/// naming the offending section otherwise.
+/// Reads a model written by save_model. Verifies the checksum footer (v2),
+/// then validates the header, the metadata, both matrix sections (shape
+/// sanity, entry counts, index ranges, finite values), and the
+/// cross-section shape consistency; throws ModelIoError naming the
+/// offending section, the byte offset reached, and — for checksum
+/// mismatches — the expected-vs-got digests.
 SparsifiedModel load_model(const std::string& path);
 
 }  // namespace subspar

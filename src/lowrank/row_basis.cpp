@@ -1,11 +1,13 @@
 #include "lowrank/row_basis.hpp"
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 
 
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
+#include "subspar/status.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -363,6 +365,25 @@ void RowBasisRep::build_rbk_level(int level, const RbkOracle& oracle) {
     states.emplace(s, std::move(st));
   }
 
+  // Columns polluted by non-finite values (possible only when fault
+  // injection slips a corrupted solve past the solver's own guards) are
+  // dropped before they can poison the SVD; the affected square fails the
+  // round's certification and retries or falls back instead.
+  const auto drop_nonfinite = [](Matrix m, std::size_t* dropped) {
+    std::vector<std::size_t> keep;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      bool ok = true;
+      for (std::size_t i = 0; i < m.rows() && ok; ++i) ok = std::isfinite(m(i, j));
+      if (ok) keep.push_back(j);
+    }
+    if (keep.size() == m.cols()) return m;
+    *dropped += m.cols() - keep.size();
+    Matrix out(m.rows(), keep.size());
+    for (std::size_t c = 0; c < keep.size(); ++c)
+      for (std::size_t i = 0; i < m.rows(); ++i) out(i, c) = m(i, keep[c]);
+    return out;
+  };
+
   // Rank fill from the sketch spectrum uses the same sigma_rel_tol ratio
   // test as the deterministic build, so kept ranks (and G_w accuracy) track
   // it; target_tol only drives the accept/refine certification.
@@ -466,15 +487,19 @@ void RowBasisRep::build_rbk_level(int level, const RbkOracle& oracle) {
         if (it != batches.end() && it->second.cols() > 0)
           fresh_samples = Matrix::hcat(fresh_samples, block(t, s));
       }
+      std::size_t dropped = 0;
+      fresh_samples = drop_nonfinite(std::move(fresh_samples), &dropped);
       const double resid =
           fresh_samples.cols() > 0 ? rbk_subspace_residual(st.basis, fresh_samples) : 0.0;
       max_resid = std::max(max_resid, resid);
       // Accept on certification, when the rank budget is saturated (more
       // rounds cannot widen the basis, and the one-shot sketch at the cap
-      // already matches the deterministic build's quality), at sample
-      // starvation (no source placed probes), or on the last round.
+      // already matches the deterministic build's quality), or at sample
+      // starvation (no source placed probes). A square that exhausts
+      // max_iters without certifying no longer accepts its last candidate
+      // silently — it takes the deterministic per-square fallback below.
       const bool saturated = st.basis.cols() >= std::min(options_.max_rank, ns);
-      if (resid <= rbk.target_tol || saturated || round == rbk.max_iters) {
+      if (dropped == 0 && (resid <= rbk.target_tol || saturated)) {
         SquareRep rep;
         rep.v = st.basis;
         auto region = tree.local(s);
@@ -493,6 +518,83 @@ void RowBasisRep::build_rbk_level(int level, const RbkOracle& oracle) {
     }
     record_step(static_cast<int>(round), probe_cols, pending.size(), max_resid);
     failed_prev = std::move(failed_now);
+  }
+
+  // Per-square deterministic fallback: a square whose certification never
+  // passed rebuilds its basis from scratch out of one seeded probe column
+  // per source — the kColumnSampling scheme's sampling rule — discarding
+  // every Krylov sample, then records responses to that basis in a second
+  // pass. Bit-reproducible for a fixed seed, independent of how the Krylov
+  // rounds failed. Healthy builds never reach this (certification passes
+  // within max_iters on the paper's grids), so the happy-path solve count
+  // is unchanged.
+  std::vector<SquareId> unresolved;
+  for (const SquareId& s : squares)
+    if (!states.at(s).done) unresolved.push_back(s);
+  if (!unresolved.empty()) {
+    rbk_fallback_squares_ += static_cast<long>(unresolved.size());
+    const int fb_round = static_cast<int>(rbk.max_iters) + 1;
+
+    // Sampling pass: one raw probe column per source of an unresolved square.
+    std::set<SquareId> probe_set;
+    for (const SquareId& s : unresolved)
+      for (const SquareId& t : states.at(s).sources) probe_set.insert(t);
+    std::map<SquareId, Matrix> fb_batches;
+    std::size_t fb_cols = 0;
+    for (const SquareId& t : probe_set) {
+      Matrix omega = rbk_gaussian_probes(
+          contacts(t).size(), 1,
+          rbk_stream_seed(options_.seed, level, fb_round, t.ix, t.iy));
+      fb_cols += omega.cols();
+      fb_batches.emplace(t, std::move(omega));
+    }
+    const RbkBlockFn fb_block = oracle(fb_batches);
+    double fb_resid = 0.0;
+    for (const SquareId& s : unresolved) {
+      State& st = states.at(s);
+      const std::size_t ns = contacts(s).size();
+      Matrix samples(ns, 0);
+      for (const SquareId& t : st.sources) samples = Matrix::hcat(samples, fb_block(t, s));
+      std::size_t dropped = 0;
+      st.samples = drop_nonfinite(std::move(samples), &dropped);
+      refine(st, ns);
+      fb_resid = std::max(fb_resid, st.samples.cols() > 0
+                                        ? rbk_subspace_residual(st.basis, st.samples)
+                                        : 0.0);
+    }
+    record_step(fb_round, fb_cols, unresolved.size(), fb_resid);
+
+    // Recording pass: responses to the fallback bases over each square's
+    // local-plus-interactive region.
+    std::map<SquareId, Matrix> rec_batches;
+    std::size_t rec_cols = 0;
+    for (const SquareId& s : unresolved) {
+      rec_cols += states.at(s).basis.cols();
+      rec_batches.emplace(s, states.at(s).basis);
+    }
+    const RbkBlockFn rec_block = oracle(rec_batches);
+    for (const SquareId& s : unresolved) {
+      State& st = states.at(s);
+      SquareRep rep;
+      rep.v = st.basis;
+      auto region = tree.local(s);
+      for (const SquareId& q : tree.interactive(s)) region.push_back(q);
+      for (const SquareId& q : region) {
+        const Matrix resp = rec_block(s, q);
+        for (std::size_t j = 0; j < resp.cols(); ++j)
+          for (std::size_t i = 0; i < resp.rows(); ++i)
+            if (!std::isfinite(resp(i, j)))
+              throw ExtractionException(
+                  {ErrorCode::kNumericalBreakdown, "row-basis",
+                   "non-finite response block recorded for the fallback basis of square (" +
+                       std::to_string(s.ix) + ", " + std::to_string(s.iy) + ") at level " +
+                       std::to_string(level)});
+        rep.response.emplace(q, resp.block(0, 0, resp.rows(), st.basis.cols()));
+      }
+      reps_.emplace(s, std::move(rep));
+      st.done = true;
+    }
+    record_step(fb_round + 1, rec_cols, unresolved.size(), fb_resid);
   }
 }
 

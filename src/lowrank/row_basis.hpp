@@ -70,6 +70,11 @@ class RowBasisRep {
   /// Adaptive rank trajectory of the kBlockKrylov scheme: one entry per
   /// (level, sketch round). Empty for kColumnSampling builds.
   const std::vector<RbkStep>& trajectory() const { return trajectory_; }
+  /// Squares whose kBlockKrylov certification never passed within
+  /// rbk.max_iters rounds and that fell back to the deterministic
+  /// one-probe-per-source sampling basis (rounds max_iters+1/+2 in the
+  /// trajectory). 0 on a healthy build and always 0 for kColumnSampling.
+  long rbk_fallback_squares() const { return rbk_fallback_squares_; }
 
   /// Approximate G v through the multilevel representation (§4.3.2).
   Vector apply(const Vector& v) const;
@@ -134,6 +139,7 @@ class RowBasisRep {
   const QuadTree* tree_;
   LowRankOptions options_;
   long solves_ = 0;
+  long rbk_fallback_squares_ = 0;
   std::vector<RbkStep> trajectory_;
   std::map<SquareId, SquareRep> reps_;
   std::map<SquareId, Matrix> finest_w_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/robust.hpp"
 #include "transform/dct.hpp"
 #include "transform/fft.hpp"
 #include "util/check.hpp"
@@ -19,6 +21,20 @@ constexpr double kPi = 3.14159265358979323846;
 /// work and the O(k^3) small solves while keeping the spectrum deflation
 /// that makes the blocked iteration converge in far fewer iterations.
 constexpr std::size_t kMaxSolveBlock = 16;
+
+/// Size gate for the dense direct-solve fallback: materializing and
+/// factoring the restricted panel operator is O(p^2) memory / O(p^3) work.
+constexpr std::size_t kMaxDirectDim = 4096;
+
+void accumulate_diag(SolverDiagnostics& d, const RobustSolveReport& r) {
+  d.iterations += static_cast<long>(r.iterations);
+  d.max_iteration_hits += static_cast<long>(r.max_iteration_hits);
+  d.restarts += static_cast<long>(r.restarts);
+  d.tighter_restarts += static_cast<long>(r.tighter_restarts);
+  d.direct_columns += static_cast<long>(r.direct_columns);
+  d.nonfinite_recoveries += static_cast<long>(r.nonfinite_events);
+  if (!r.clean) d.worst_residual = std::max(d.worst_residual, r.worst_residual);
+}
 
 // Panel-averaging factor for mode m over M panels:
 // mean over a panel of cos(m pi x / a) relative to its center value.
@@ -47,6 +63,7 @@ struct SurfaceSolver::Impl {
   std::vector<std::size_t> panels;        // flattened contact-panel grid indices
   std::vector<std::size_t> contact_begin; // offsets into `panels`, size n+1
   std::vector<Cholesky> block_factors;    // per-contact preconditioner blocks
+  mutable std::unique_ptr<Cholesky> direct_factor;  // lazy dense fallback factor
   mutable long total_iterations = 0;
   mutable long stat_solves = 0;
 
@@ -113,9 +130,31 @@ struct SurfaceSolver::Impl {
     return z;
   }
 
+  // Dense direct fallback for the robust chain: materializes the restricted
+  // panel operator once (p batched applies through the clean operator, no
+  // fault instrumentation) and Cholesky-factors it; the factor is reused by
+  // every later fallback.
+  Matrix direct_solve(const Matrix& b) const {
+    if (!direct_factor) {
+      const std::size_t p = panels.size();
+      Matrix a_cc = apply_restricted_many(Matrix::identity(p));
+      // The DCT round trip is symmetric only to rounding; Cholesky needs it
+      // exact.
+      for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = i + 1; j < p; ++j) {
+          const double v = 0.5 * (a_cc(i, j) + a_cc(j, i));
+          a_cc(i, j) = v;
+          a_cc(j, i) = v;
+        }
+      direct_factor = std::make_unique<Cholesky>(a_cc);
+    }
+    return direct_factor->solve(b);
+  }
+
   // Shared solve core: contact-voltage columns -> contact-current columns,
-  // one blocked PCG per chunk of <= kMaxSolveBlock columns.
-  Matrix solve_block(const Matrix& contact_voltages) const {
+  // one blocked PCG per chunk of <= kMaxSolveBlock columns, each run through
+  // the robust fallback chain (restarts, then the dense direct solve).
+  Matrix solve_block(const Matrix& contact_voltages, SolverDiagnostics& diag) const {
     const std::size_t n = layout.n_contacts();
     const std::size_t k = contact_voltages.cols();
     Matrix currents(n, k);
@@ -128,15 +167,24 @@ struct SurfaceSolver::Impl {
           for (std::size_t idx = contact_begin[c]; idx < contact_begin[c + 1]; ++idx)
             v(idx, j) = contact_voltages(c, j0 + j);
 
-      BlockIterStats stats;
-      const LinearOpMany op = [&](const Matrix& x) { return apply_restricted_many(x); };
+      RobustSolveReport rrep;
+      const LinearOpMany op = [&](const Matrix& x) {
+        Matrix y = apply_restricted_many(x);
+        fault_corrupt(FaultSite::kSolverApply, y);
+        return y;
+      };
       const FunctionPreconditioner pre(
           [&](const Matrix& r) { return precondition_many(r); });
-      const Matrix q = pcg_block(
-          op, v, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
-          &stats, options.contact_block_precond ? &pre : nullptr);
-      SUBSPAR_ENSURE(stats.converged);
-      total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
+      const DirectSolveFn direct =
+          panels.size() <= kMaxDirectDim
+              ? DirectSolveFn([&](const Matrix& bb) { return direct_solve(bb); })
+              : DirectSolveFn();
+      const Matrix q = robust_pcg_block(
+          op, v,
+          {.iter = {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations}},
+          &rrep, options.contact_block_precond ? &pre : nullptr, /*tighter=*/nullptr, direct);
+      accumulate_diag(diag, rrep);
+      total_iterations += static_cast<long>(rrep.iterations) * static_cast<long>(kc);
       stat_solves += static_cast<long>(kc);
 
       for (std::size_t j = 0; j < kc; ++j) {
@@ -267,11 +315,11 @@ void SurfaceSolver::reset_iteration_stats() const {
 Vector SurfaceSolver::do_solve(const Vector& contact_voltages) const {
   Matrix v(contact_voltages.size(), 1);
   v.set_col(0, contact_voltages);
-  return impl_->solve_block(v).col(0);
+  return impl_->solve_block(v, diag()).col(0);
 }
 
 Matrix SurfaceSolver::do_solve_many(const Matrix& contact_voltages) const {
-  return impl_->solve_block(contact_voltages);
+  return impl_->solve_block(contact_voltages, diag());
 }
 
 }  // namespace subspar

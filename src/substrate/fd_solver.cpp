@@ -1,13 +1,17 @@
 #include "substrate/fd_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/ic0.hpp"
 #include "linalg/iterative.hpp"
 #include "linalg/reorder.hpp"
+#include "linalg/robust.hpp"
 #include "linalg/sparse.hpp"
 #include "substrate/multigrid.hpp"
 #include "transform/fft.hpp"
@@ -31,6 +35,36 @@ class FastPoissonPreconditioner final : public Preconditioner {
   FastPoisson3D fp_;
 };
 
+/// Size gate for the dense direct-solve fallback (O(n^2) memory, O(n^3)
+/// factorization over the full grid).
+constexpr std::size_t kMaxDirectDim = 4096;
+
+/// Tighter-preconditioner stage of the fallback chain: an RCM-reordered
+/// IC(0) factor built lazily on first use, so healthy runs under the cheap
+/// fast-Poisson / multigrid preconditioners never pay for it.
+class LazyIc0Preconditioner final : public Preconditioner {
+ public:
+  explicit LazyIc0Preconditioner(const SparseMatrix& a) : a_(&a) {}
+  Matrix apply_many(const Matrix& r) const override {
+    if (!inner_) inner_ = std::make_unique<Ic0Preconditioner>(*a_, rcm_ordering(*a_));
+    return inner_->apply_many(r);
+  }
+
+ private:
+  const SparseMatrix* a_;
+  mutable std::unique_ptr<Ic0Preconditioner> inner_;
+};
+
+void accumulate_diag(SolverDiagnostics& d, const RobustSolveReport& r) {
+  d.iterations += static_cast<long>(r.iterations);
+  d.max_iteration_hits += static_cast<long>(r.max_iteration_hits);
+  d.restarts += static_cast<long>(r.restarts);
+  d.tighter_restarts += static_cast<long>(r.tighter_restarts);
+  d.direct_columns += static_cast<long>(r.direct_columns);
+  d.nonfinite_recoveries += static_cast<long>(r.nonfinite_events);
+  if (!r.clean) d.worst_residual = std::max(d.worst_residual, r.worst_residual);
+}
+
 }  // namespace
 
 struct FdSolver::Impl {
@@ -48,6 +82,10 @@ struct FdSolver::Impl {
   // The multigrid hierarchy outlives its non-owning preconditioner wrapper.
   std::unique_ptr<GridMultigrid> multigrid;
   std::unique_ptr<Preconditioner> precond;
+  // Fallback-chain stages: the tighter preconditioner (lazy IC(0); null when
+  // IC(0) already is the primary) and the size-gated dense direct factor.
+  std::unique_ptr<Preconditioner> tighter;
+  mutable std::unique_ptr<Cholesky> direct_factor;
 
   // Top-plane node indices per contact (into the full grid vector).
   std::vector<std::vector<std::size_t>> contact_nodes;
@@ -62,13 +100,41 @@ struct FdSolver::Impl {
     return x + nx * (y + ny * z);
   }
 
-  [[noreturn]] void throw_not_converged(double residual) const {
-    char msg[160];
-    std::snprintf(msg, sizeof msg,
-                  "FdSolver: PCG failed to converge within %zu iterations "
-                  "(max relative residual %.3e, tol %.3e)",
-                  options.max_iterations, residual, options.rel_tol);
-    throw std::runtime_error(msg);
+  // Dense direct fallback: the sparse Laplacian densified and
+  // Cholesky-factored once, reused by every later fallback.
+  Matrix direct_solve(const Matrix& b) const {
+    if (!direct_factor) {
+      const std::size_t n = a.rows();
+      Matrix dense(n, n);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t t = a.row_begin(i); t < a.row_end(i); ++t)
+          dense(i, a.col_index(t)) = a.value(t);
+      direct_factor = std::make_unique<Cholesky>(dense);
+    }
+    return direct_factor->solve(b);
+  }
+
+  // One right-hand-side chunk through the robust fallback chain: pcg_block,
+  // then restarts (the last with the lazy IC(0)), then the size-gated dense
+  // direct solve. Throws SolverConvergenceError when all of it fails.
+  Matrix robust_chunk(const Matrix& b, SolverDiagnostics& d, std::size_t* iterations) const {
+    RobustSolveReport rrep;
+    const LinearOpMany op = [&](const Matrix& p) {
+      Matrix y = a.apply_many(p);
+      fault_corrupt(FaultSite::kSolverApply, y);
+      return y;
+    };
+    const DirectSolveFn direct =
+        b.rows() <= kMaxDirectDim
+            ? DirectSolveFn([this](const Matrix& bb) { return direct_solve(bb); })
+            : DirectSolveFn();
+    const Matrix xc = robust_pcg_block(
+        op, b,
+        {.iter = {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations}},
+        &rrep, precond.get(), tighter.get(), direct);
+    accumulate_diag(d, rrep);
+    if (iterations) *iterations = rrep.iterations;
+    return xc;
   }
 
   // Right-hand-side columns [j0, j0 + kc) of the volume system: each
@@ -90,36 +156,51 @@ struct FdSolver::Impl {
   // (k x k Gram solves, deflation bookkeeping, Matrix temporaries) and
   // runs the scalar-recurrence pcg() — substantially cheaper per iteration
   // at equal arithmetic per operator apply.
-  Matrix solve_volume_block(const Matrix& contact_voltages) const {
+  Matrix solve_volume_block(const Matrix& contact_voltages, SolverDiagnostics& d) const {
     const std::size_t nodes = nx * ny * nz;
     const std::size_t k = contact_voltages.cols();
     Matrix x(nodes, k);
     if (k == 1) {
-      const Vector b = assemble_rhs(contact_voltages, 0, 1).col(0);
+      const Matrix bm = assemble_rhs(contact_voltages, 0, 1);
+      const Vector b = bm.col(0);
       IterStats stats;
-      const LinearOp op = [&](const Vector& p) { return a.apply(p); };
+      const LinearOp op = [&](const Vector& p) {
+        Vector y = a.apply(p);
+        fault_corrupt(FaultSite::kSolverApply, y);
+        return y;
+      };
       const LinearOp pre = precond
           ? LinearOp([&](const Vector& r) { return precond->apply(r); })
           : LinearOp();
-      const Vector xv = pcg(
+      Vector xv = pcg(
           op, b, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
           &stats, pre);
-      if (!stats.converged) throw_not_converged(stats.relative_residual);
+      const bool corrupted = fault_corrupt(FaultSite::kSolverSolve, xv);
+      bool finite = true;
+      for (std::size_t i = 0; i < xv.size() && finite; ++i) finite = std::isfinite(xv[i]);
       total_iterations += static_cast<long>(stats.iterations);
       stat_solves += 1;
-      x.set_col(0, xv);
+      d.iterations += static_cast<long>(stats.iterations);
+      if (stats.converged && !corrupted && finite) {
+        x.set_col(0, xv);
+        return x;
+      }
+      // Scalar fast path failed: escalate the single column into the same
+      // robust chain the blocked path uses.
+      if (!stats.converged) ++d.max_iteration_hits;
+      if (!finite) ++d.nonfinite_recoveries;
+      std::size_t it = 0;
+      const Matrix xc = robust_chunk(bm, d, &it);
+      total_iterations += static_cast<long>(it);
+      x.set_col(0, xc.col(0));
       return x;
     }
     for (std::size_t j0 = 0; j0 < k; j0 += kMaxSolveBlock) {
       const std::size_t kc = std::min(kMaxSolveBlock, k - j0);
       const Matrix b = assemble_rhs(contact_voltages, j0, kc);
-      BlockIterStats stats;
-      const LinearOpMany op = [&](const Matrix& p) { return a.apply_many(p); };
-      const Matrix xc = pcg_block(
-          op, b, {.rel_tol = options.rel_tol, .max_iterations = options.max_iterations},
-          &stats, precond.get());
-      if (!stats.converged) throw_not_converged(stats.max_relative_residual);
-      total_iterations += static_cast<long>(stats.iterations) * static_cast<long>(kc);
+      std::size_t it = 0;
+      const Matrix xc = robust_chunk(b, d, &it);
+      total_iterations += static_cast<long>(it) * static_cast<long>(kc);
       stat_solves += static_cast<long>(kc);
       for (std::size_t j = 0; j < kc; ++j)
         for (std::size_t i = 0; i < nodes; ++i) x(i, j0 + j) = xc(i, j);
@@ -253,6 +334,10 @@ FdSolver::FdSolver(const Layout& layout, const SubstrateStack& stack, FdSolverOp
     }
   }
   im.a = SparseMatrix(bld);
+  // The fallback chain's tighter preconditioner; pointless when IC(0) is
+  // already the primary. Lazy: the factor is only built if a solve fails.
+  if (options.precond != FdPreconditioner::kIncompleteCholesky)
+    im.tighter = std::make_unique<LazyIc0Preconditioner>(im.a);
 
   // Preconditioner setup: every branch is a Preconditioner instance the
   // blocked PCG applies to whole residual blocks.
@@ -347,18 +432,18 @@ Vector FdSolver::solve_volume(const Vector& contact_voltages) const {
   SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
   Matrix v(contact_voltages.size(), 1);
   v.set_col(0, contact_voltages);
-  return impl_->solve_volume_block(v).col(0);
+  return impl_->solve_volume_block(v, diag()).col(0);
 }
 
 Vector FdSolver::do_solve(const Vector& contact_voltages) const {
   Matrix v(contact_voltages.size(), 1);
   v.set_col(0, contact_voltages);
-  const Matrix x = impl_->solve_volume_block(v);
+  const Matrix x = impl_->solve_volume_block(v, diag());
   return impl_->currents_from(v, x, 0);
 }
 
 Matrix FdSolver::do_solve_many(const Matrix& contact_voltages) const {
-  const Matrix x = impl_->solve_volume_block(contact_voltages);
+  const Matrix x = impl_->solve_volume_block(contact_voltages, diag());
   Matrix currents(n_contacts(), contact_voltages.cols());
   for (std::size_t j = 0; j < contact_voltages.cols(); ++j)
     currents.set_col(j, impl_->currents_from(contact_voltages, x, j));

@@ -26,6 +26,20 @@ namespace subspar {
 /// the caller keeps the documented precondition.
 std::string substrate_fingerprint(const Layout& layout, const SubstrateStack& stack);
 
+/// Robustness counters a solver accumulates across its solve calls. The
+/// iterative solvers feed these from the robust_pcg_block fallback chain
+/// (linalg/robust.hpp); the Extractor snapshots per-phase deltas into the
+/// ExtractionReport. All zeros on a healthy run.
+struct SolverDiagnostics {
+  long iterations = 0;            ///< inner PCG iterations (block iterations per chunk)
+  long max_iteration_hits = 0;    ///< iterative attempts that exhausted max_iterations
+  long restarts = 0;              ///< fresh iterative re-runs taken by the fallback chain
+  long tighter_restarts = 0;      ///< restarts that switched to a tighter preconditioner
+  long direct_columns = 0;        ///< columns recovered by the dense direct fallback
+  long nonfinite_recoveries = 0;  ///< non-finite candidate columns detected and retried
+  double worst_residual = 0.0;    ///< worst verified residual among recovered columns
+};
+
 class SubstrateSolver {
  public:
   virtual ~SubstrateSolver() = default;
@@ -62,7 +76,14 @@ class SubstrateSolver {
   /// Zeroes the solve counter (benches call this between phases).
   void reset_solve_count() const { solve_count_ = 0; }
 
+  /// Robustness counters accumulated since construction / the last reset.
+  const SolverDiagnostics& diagnostics() const { return diagnostics_; }
+  void reset_diagnostics() const { diagnostics_ = SolverDiagnostics{}; }
+
  protected:
+  /// Mutable hook for concrete solvers to fold fallback-chain reports into.
+  SolverDiagnostics& diag() const { return diagnostics_; }
+
   /// Implementation hook: one application of G (solve() wraps this and
   /// maintains the solve counter).
   virtual Vector do_solve(const Vector& contact_voltages) const = 0;
@@ -73,6 +94,7 @@ class SubstrateSolver {
 
  private:
   mutable long solve_count_ = 0;
+  mutable SolverDiagnostics diagnostics_;
 };
 
 /// Naive extraction: G(:, i) = solver(e_i), n solves (§1.2).

@@ -1,0 +1,157 @@
+#include "util/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+namespace subspar {
+namespace {
+
+// SplitMix64 finalizer: the schedule is a pure hash of (seed, site,
+// invocation), so it replays bit-identically and is independent of call
+// interleaving across sites.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = seed;
+  z = mix(z + 0x9e3779b97f4a7c15ULL + a);
+  z = mix(z + 0x9e3779b97f4a7c15ULL + b);
+  return z;
+}
+
+struct Config {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  double rate = 0.02;
+  std::uint64_t cooldown = 500;
+  bool site_on[kFaultSiteCount] = {true, true, true, true, true};
+};
+
+Config parse_env() {
+  Config cfg;
+  const char* env = std::getenv("SUBSPAR_FAULT");
+  if (env == nullptr || *env == '\0') return cfg;
+  // "<seed>[:<rate>[:<cooldown>[:<sites>]]]"; malformed fields keep their
+  // defaults rather than aborting the host process.
+  char* end = nullptr;
+  cfg.seed = std::strtoull(env, &end, 10);
+  if (end == env) return cfg;  // no leading seed: stay disarmed
+  cfg.enabled = true;
+  if (*end == ':') {
+    const char* p = end + 1;
+    const double rate = std::strtod(p, &end);
+    if (end != p && rate >= 0.0 && rate <= 1.0) cfg.rate = rate;
+  }
+  if (*end == ':') {
+    const char* p = end + 1;
+    const std::uint64_t cd = std::strtoull(p, &end, 10);
+    if (end != p) cfg.cooldown = cd;
+  }
+  if (*end == ':') {
+    for (int i = 0; i < kFaultSiteCount; ++i) cfg.site_on[i] = false;
+    for (const char* p = end + 1; *p != '\0'; ++p) {
+      switch (*p) {
+        case 'a': cfg.site_on[static_cast<int>(FaultSite::kSolverApply)] = true; break;
+        case 's': cfg.site_on[static_cast<int>(FaultSite::kSolverSolve)] = true; break;
+        case 'r': cfg.site_on[static_cast<int>(FaultSite::kCacheRead)] = true; break;
+        case 'w': cfg.site_on[static_cast<int>(FaultSite::kCacheWrite)] = true; break;
+        case 'i': cfg.site_on[static_cast<int>(FaultSite::kIo)] = true; break;
+        default: break;  // ignore separators/unknown letters
+      }
+    }
+  }
+  return cfg;
+}
+
+struct State {
+  std::mutex mutex;
+  bool loaded = false;
+  Config config;
+  FaultCounts counts;
+  std::uint64_t quiet_until[kFaultSiteCount] = {};  // cooldown horizon per site
+
+  void ensure_loaded() {
+    if (!loaded) {
+      config = parse_env();
+      loaded = true;
+    }
+  }
+};
+
+State& state() {
+  static State st;
+  return st;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSolverApply: return "solver-apply";
+    case FaultSite::kSolverSolve: return "solver-solve";
+    case FaultSite::kCacheRead: return "cache-read";
+    case FaultSite::kCacheWrite: return "cache-write";
+    case FaultSite::kIo: return "io";
+  }
+  return "unknown";
+}
+
+bool fault_injection_enabled() {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.ensure_loaded();
+  return st.config.enabled;
+}
+
+bool fault_fire(FaultSite site) {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.ensure_loaded();
+  const int i = static_cast<int>(site);
+  const std::uint64_t n = ++st.counts.invocations[i];
+  if (!st.config.enabled || !st.config.site_on[i]) return false;
+  if (n <= st.quiet_until[i]) return false;
+  const std::uint64_t z = hash3(st.config.seed, static_cast<std::uint64_t>(i), n);
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  if (u >= st.config.rate) return false;
+  ++st.counts.fired[i];
+  st.quiet_until[i] = n + st.config.cooldown;
+  return true;
+}
+
+double fault_corrupt_value(std::uint64_t fired_index) {
+  return fired_index % 2 == 0 ? std::nan("") : 0x1.0p100;
+}
+
+std::uint64_t fault_corrupt_index(FaultSite site, std::uint64_t fired_index,
+                                  std::uint64_t extent) {
+  if (extent == 0) return 0;
+  return hash3(0x5eedULL + static_cast<std::uint64_t>(site), fired_index, extent) % extent;
+}
+
+FaultCounts fault_counts() {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  return st.counts;
+}
+
+std::uint64_t fault_fired(FaultSite site) {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  return st.counts.fired[static_cast<int>(site)];
+}
+
+void fault_reset() {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.config = parse_env();
+  st.loaded = true;
+  st.counts = FaultCounts{};
+  for (auto& q : st.quiet_until) q = 0;
+}
+
+}  // namespace subspar

@@ -1,0 +1,74 @@
+// Deterministic fault injection for the extraction stack.
+//
+// The fault-tolerance layer (linalg/robust.hpp, the solver fallback chains,
+// the checksummed ModelCache) has recovery paths that never run in a healthy
+// build. This harness makes them testable: setting
+//
+//   SUBSPAR_FAULT="<seed>[:<rate>[:<cooldown>[:<sites>]]]"
+//
+// arms a deterministic, seeded schedule that fires faults at instrumented
+// sites — corrupted operator applies / solve results inside the solvers,
+// failing reads/writes in the cache and model-IO layers. The schedule is a
+// pure function of (seed, site, per-site invocation count), so a run replays
+// bit-identically for a fixed seed and the CI fault matrix pins three of
+// them. `rate` is the per-invocation fire probability (default 0.02);
+// `cooldown` suppresses a site for that many invocations after it fires
+// (default 500) so a recovery attempt is not re-poisoned before it can
+// verify; `sites` restricts firing to a subset (letters a/s/r/w/i per the
+// FaultSite enum, default all).
+//
+// With SUBSPAR_FAULT unset the harness is inert: fault_fire() returns false
+// and instrumented code paths are bit-identical to an uninstrumented build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace subspar {
+
+/// Instrumented injection points.
+enum class FaultSite : int {
+  kSolverApply = 0,  ///< operator application inside an iterative solve ('a')
+  kSolverSolve,      ///< candidate solution block before verification ('s')
+  kCacheRead,        ///< ModelCache persisted-file read ('r')
+  kCacheWrite,       ///< model-file write, before the atomic rename ('w')
+  kIo,               ///< low-level model-file parse ('i')
+};
+inline constexpr int kFaultSiteCount = 5;
+
+/// Human-readable site name ("solver-apply", ...).
+const char* fault_site_name(FaultSite site);
+
+/// True when SUBSPAR_FAULT armed the harness (parsed once, lazily; see
+/// fault_reset()).
+bool fault_injection_enabled();
+
+/// Advances the site's invocation counter and reports whether the schedule
+/// fires a fault at this invocation. Deterministic for a fixed seed;
+/// thread-safe; always false when the harness is disarmed.
+bool fault_fire(FaultSite site);
+
+/// Deterministic corruption value for the site's k-th fired fault:
+/// alternates a quiet NaN with a huge finite value so both garbage kinds
+/// (non-finite and wildly wrong) exercise the guards.
+double fault_corrupt_value(std::uint64_t fired_index);
+
+/// Deterministic entry index in [0, extent) for the site's k-th fired fault.
+std::uint64_t fault_corrupt_index(FaultSite site, std::uint64_t fired_index,
+                                  std::uint64_t extent);
+
+struct FaultCounts {
+  std::uint64_t invocations[kFaultSiteCount] = {};
+  std::uint64_t fired[kFaultSiteCount] = {};
+};
+/// Snapshot of the per-site counters since arm/reset.
+FaultCounts fault_counts();
+
+/// Number of faults fired at `site` so far (convenience over fault_counts).
+std::uint64_t fault_fired(FaultSite site);
+
+/// Re-reads SUBSPAR_FAULT and zeroes every counter. Tests call this after
+/// setenv/unsetenv; production code never needs it.
+void fault_reset();
+
+}  // namespace subspar

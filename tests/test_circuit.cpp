@@ -210,6 +210,37 @@ TEST(NetlistText, ParsesHandWrittenCardsWithSuffixes) {
   EXPECT_THROW(parse_netlist("R1 a b ohms\n"), std::invalid_argument);     // not a number
 }
 
+TEST(NetlistText, HardenedParserRejectsStructuralErrors) {
+  // Empty input (no element cards at all) is rejected, not returned as a
+  // useless zero-node netlist.
+  EXPECT_THROW(parse_netlist(""), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("* only a comment\n.end\n"), std::invalid_argument);
+  // Duplicate element definitions, case-insensitively ('r1' redefines 'R1').
+  EXPECT_THROW(parse_netlist("R1 a b 10\nR1 b c 20\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("R1 a b 10\nr1 b c 20\n"), std::invalid_argument);
+  // Out-of-range values: a literal beyond double range (strtod saturates to
+  // inf) and a suffix-scaled overflow.
+  EXPECT_THROW(parse_netlist("R1 a b 1e400\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("R1 a b 1e306t\n"), std::invalid_argument);
+}
+
+TEST(NetlistText, ParseErrorsCarryTheSourceLineNumber) {
+  try {
+    parse_netlist("V1 in 0 1\nR1 in out 1k\nR2 out 0 bad\n");
+    FAIL() << "accepted a malformed value";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  // Element preconditions (here: a self-loop resistor) surface with the
+  // line context attached, not as a bare requirement failure.
+  try {
+    parse_netlist("V1 in 0 1\nR1 a a 10\n");
+    FAIL() << "accepted a self-loop resistor";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
 TEST(NetlistText, ParsedRcTransientMatchesAnalytic) {
   // The RC step-response circuit, entering the simulator from TEXT: charge
   // a 1 ms time-constant RC from a 1 V step and compare with

@@ -173,7 +173,19 @@ TEST(ModelIo, LoadRejectsTruncatedFilesNamingTheSection) {
   const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
   const std::string path = "/tmp/subspar_model_trunc.txt";
   save_model(path, model);
-  const std::string good = read_file(path);
+  const std::string v2 = read_file(path);
+
+  // Any truncation of a v2 file loses (or splits) the checksum footer and is
+  // rejected there before section parsing even starts.
+  write_file(path, v2.substr(0, v2.size() - 10));
+  expect_load_error(path, "checksum footer");
+
+  // The section-level checks still guard legacy v1 files, which carry no
+  // footer: strip it and downgrade the magic, then cut inside each section.
+  const std::size_t footer = v2.rfind("checksum fnv1a ");
+  ASSERT_NE(footer, std::string::npos);
+  std::string good = v2.substr(0, footer);
+  good.replace(good.find("v2"), 2, "v1");
 
   // Structural offsets: line 0 = magic, line 1 = metadata, line 2 = Q size,
   // lines 3..2+nnz(Q) = Q entries, then the G_w size line. Cuts land just
@@ -214,7 +226,26 @@ TEST(ModelIo, LoadRejectsBitFlippedFields) {
   const SparsifiedModel model = extract_sparsified(f.solver, f.tree);
   const std::string path = "/tmp/subspar_model_flip.txt";
   save_model(path, model);
-  const std::string good = read_file(path);
+  const std::string v2 = read_file(path);
+
+  {  // A v2 file catches ANY payload mutation at the checksum footer, with
+     // an expected-vs-got digest pair in the message — even mutations the
+     // per-entry syntax checks would accept (here: a flipped hex digit that
+     // still scans as a valid float).
+    std::string bad = v2;
+    const std::size_t mid = bad.size() / 2;
+    bad[mid] = bad[mid] == '1' ? '2' : '1';
+    write_file(path, bad);
+    expect_load_error(path, "checksum footer");
+    expect_load_error(path, "expected fnv1a ");
+  }
+
+  // Section-level validation is exercised on the legacy v1 form (no
+  // footer), where mutated fields reach the parser directly.
+  const std::size_t footer = v2.rfind("checksum fnv1a ");
+  ASSERT_NE(footer, std::string::npos);
+  std::string good = v2.substr(0, footer);
+  good.replace(good.find("v2"), 2, "v1");
 
   // Locate the Q size line (line 3) and its first entry line (line 4).
   std::vector<std::string> lines;

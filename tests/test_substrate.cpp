@@ -573,18 +573,30 @@ TEST(FdSolver, CacheTagDigestsEngineKnobs) {
   EXPECT_NE(FdSolver(l, st, rb).cache_tag(), FdSolver(l, st, sweeps).cache_tag());
 }
 
-TEST(FdSolver, NonConvergenceThrowsCatchableError) {
-  // The engine reports an impossible iteration budget as a runtime_error
-  // naming the residual, not a crash (bench drivers catch and annotate).
+TEST(FdSolver, ImpossibleIterationBudgetDegradesGracefully) {
+  // An impossible iteration budget no longer kills the solve: the fallback
+  // chain (restart, tighter IC(0) preconditioner, dense direct solve)
+  // recovers the columns, records what it did in the solver diagnostics,
+  // and the currents still match a healthy solver. Exhausting the whole
+  // chain still throws (see the robust_pcg_block suite in test_fault).
   const Layout l = regular_grid_layout(4);
   const FdSolver s(l, fd_stack(Backplane::kGrounded),
                    {.grid_h = 2.0, .precond = FdPreconditioner::kNone, .max_iterations = 2});
+  const FdSolver ref(l, fd_stack(Backplane::kGrounded),
+                     {.grid_h = 2.0, .precond = FdPreconditioner::kNone});
   Vector v(l.n_contacts());
   v[0] = 1.0;
-  EXPECT_THROW(s.solve(v), std::runtime_error);
+  const Vector i_fb = s.solve(v);
+  const Vector i_ref = ref.solve(v);
+  const SolverDiagnostics& d = s.diagnostics();
+  EXPECT_GT(d.max_iteration_hits, 0);
+  EXPECT_GT(d.restarts + d.direct_columns, 0);
+  EXPECT_LT(norm_inf(i_fb - i_ref), 1e-6 * norm_inf(i_ref));
   Matrix vm(l.n_contacts(), 3);
   vm(0, 0) = vm(1, 1) = vm(2, 2) = 1.0;
-  EXPECT_THROW(s.solve_many(vm), std::runtime_error);
+  EXPECT_NO_THROW(s.solve_many(vm));
+  s.reset_diagnostics();
+  EXPECT_EQ(s.diagnostics().restarts, 0);
 }
 
 TEST(Multigrid, AssemblyMatchesFastPoissonStencil) {
