@@ -1,0 +1,156 @@
+// Service contention bench: N client threads hammer one ExtractionService
+// with M distinct extraction keys for several rounds, measuring what the
+// job engine adds on top of the pipeline — throughput, the dedup/cache hit
+// rate (N x M x rounds submissions must cost exactly M extractions), and
+// client-observed job latency (p50/p99).
+//
+//   bench_service_contention [--full] [--clients N] [--layouts M]
+//                            [--rounds R] [--json <path>]
+//
+// --json writes a one-object artifact for CI trend tracking. Extraction
+// numerics are seeded and deterministic; wall-clock figures vary with the
+// host like every other bench.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace subspar;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = subspar::bench::full_mode(argc, argv);
+  const char* clients_arg = flag_value(argc, argv, "--clients");
+  const char* layouts_arg = flag_value(argc, argv, "--layouts");
+  const char* rounds_arg = flag_value(argc, argv, "--rounds");
+  const char* json_path = flag_value(argc, argv, "--json");
+
+  const int clients = clients_arg ? std::atoi(clients_arg) : 4;
+  const int keys = layouts_arg ? std::atoi(layouts_arg) : (full ? 6 : 3);
+  const int rounds = rounds_arg ? std::atoi(rounds_arg) : (full ? 4 : 2);
+  const SubstrateStack stack = subspar::bench::bench_stack();
+  const Layout layout = regular_grid_layout(full ? 16 : 8);
+
+  // One solver per key: deduplication guarantees at most one extraction of a
+  // key runs at a time, so sharing a solver across clients is safe — that is
+  // the precondition the service documents.
+  std::vector<std::shared_ptr<SubstrateSolver>> solvers;
+  std::vector<ExtractionRequest> requests;
+  for (int k = 0; k < keys; ++k) {
+    solvers.push_back(
+        std::shared_ptr<SubstrateSolver>(make_solver(SolverKind::kSurface, layout, stack)));
+    ExtractionRequest request{.method = SparsifyMethod::kLowRank,
+                              .threshold_sparsity_multiple = 6.0};
+    request.lowrank.seed = static_cast<std::uint64_t>(k);
+    requests.push_back(request);
+  }
+
+  ExtractionService service({.workers = static_cast<std::size_t>(std::max(2, clients / 2)),
+                             .queue_capacity = 1024});
+
+  std::printf("service contention: %d clients x %d keys x %d rounds (n = %zu)\n", clients,
+              keys, rounds, layout.n_contacts());
+
+  std::mutex latency_mutex;
+  std::vector<double> latencies_ms;
+  long failures = 0;
+
+  const double t0 = now_ms();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      long local_failures = 0;
+      for (int r = 0; r < rounds; ++r)
+        for (int k = 0; k < keys; ++k) {
+          // Stagger which key each client starts on so submissions collide.
+          const int key = (k + c) % keys;
+          const double start = now_ms();
+          ExtractionJob job =
+              service.submit(solvers[key], layout, stack, requests[key]);
+          if (!job.wait().ok()) ++local_failures;
+          local.push_back(now_ms() - start);
+        }
+      const std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      failures += local_failures;
+    });
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s = (now_ms() - t0) / 1e3;
+
+  const ServiceStats stats = service.stats();
+  long total_solves = 0;
+  for (const auto& solver : solvers) total_solves += solver->solve_count();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const std::size_t jobs = latencies_ms.size();
+  const double throughput = elapsed_s > 0.0 ? static_cast<double>(jobs) / elapsed_s : 0.0;
+  const double dedup_rate =
+      jobs > 0 ? static_cast<double>(stats.deduped + stats.cache_hits) /
+                     static_cast<double>(jobs)
+               : 0.0;
+
+  std::printf("  jobs            %zu (%ld failed)\n", jobs, failures);
+  std::printf("  elapsed         %.3f s  (%.1f jobs/s)\n", elapsed_s, throughput);
+  std::printf("  latency         p50 %.1f ms, p99 %.1f ms\n", p50, p99);
+  std::printf("  dedup/cache     %zu deduped + %zu cache hits (rate %.2f)\n", stats.deduped,
+              stats.cache_hits, dedup_rate);
+  std::printf("  extractions     %zu accepted, %ld black-box solves total\n", stats.accepted,
+              total_solves);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"clients\": %d, \"keys\": %d, \"rounds\": %d, \"n\": %zu, "
+                 "\"jobs\": %zu, \"failures\": %ld, \"elapsed_s\": %.6f, "
+                 "\"throughput_jobs_per_s\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"dedup_rate\": %.4f, \"deduped\": %zu, \"cache_hits\": %zu, "
+                 "\"accepted\": %zu, \"solves\": %ld}\n",
+                 clients, keys, rounds, layout.n_contacts(), jobs, failures, elapsed_s,
+                 throughput, p50, p99, dedup_rate, stats.deduped, stats.cache_hits,
+                 stats.accepted, total_solves);
+    std::fclose(f);
+    std::printf("  json artifact   %s\n", json_path);
+  }
+
+  // The dedup invariant doubles as the bench's self-check: failures or
+  // missing dedup make the artifact untrustworthy.
+  return failures == 0 ? 0 : 1;
+}

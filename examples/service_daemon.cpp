@@ -1,0 +1,117 @@
+// Service daemon: drive the ExtractionService the way a long-running
+// extraction server would — entirely through the public API.
+//
+// Spins up the job engine with a bounded queue, a retry policy, and a cache
+// memory budget; then plays a realistic traffic mix against it from several
+// client threads: duplicate requests (deduplicated in flight), repeats
+// (cache hits), a deliberately cancelled job, one with a hopeless deadline,
+// and a burst that overflows the queue (shed with kOverloaded). Prints the
+// per-job outcomes and the service counters, and exits nonzero if any
+// invariant breaks — CI runs this as a smoke test, including under fault
+// injection.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "subspar/subspar.hpp"
+
+using namespace subspar;
+
+int main() {
+  const SubstrateStack stack = paper_stack(/*depth=*/40.0);
+  const Layout layout = regular_grid_layout(/*contacts_per_side=*/8);
+
+  // The engine: 2 workers, small queue, 3 attempts per job with fast
+  // backoff, and a cache budget of roughly a handful of models.
+  ExtractionService service({.workers = 2,
+                             .queue_capacity = 16,
+                             .cache_memory_budget = 1u << 20,
+                             .retry = {.max_attempts = 3, .base_backoff_ms = 5.0}});
+
+  // Traffic: 3 client threads x 3 distinct requests (seeds), twice each.
+  // Dedup + the cache make that cost exactly 3 extractions.
+  constexpr int kClients = 3, kKeys = 3;
+  std::vector<std::shared_ptr<SubstrateSolver>> solvers;
+  for (int k = 0; k < kKeys; ++k)
+    solvers.push_back(
+        std::shared_ptr<SubstrateSolver>(make_solver(SolverKind::kSurface, layout, stack)));
+  const auto request_for = [](int key) {
+    ExtractionRequest request{.method = SparsifyMethod::kLowRank,
+                              .threshold_sparsity_multiple = 6.0};
+    request.lowrank.seed = static_cast<std::uint64_t>(key);
+    return request;
+  };
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 2; ++round)
+        for (int k = 0; k < kKeys; ++k) {
+          const int key = (k + c) % kKeys;
+          ExtractionJob job = service.submit(solvers[key], layout, stack, request_for(key));
+          const Status status = job.wait();
+          if (!status.ok()) {
+            std::printf("client %d key %d: UNEXPECTED %s\n", c, key,
+                        status.message().c_str());
+            failures.fetch_add(1);
+          }
+        }
+    });
+  for (std::thread& t : clients) t.join();
+
+  long solves = 0;
+  for (const auto& solver : solvers) solves += solver->solve_count();
+  const ServiceStats after_traffic = service.stats();
+  std::printf("traffic: %zu accepted, %zu deduped, %zu cache hits, %ld solves total\n",
+              after_traffic.accepted, after_traffic.deduped, after_traffic.cache_hits,
+              solves);
+
+  // A job the client abandons: cancellation is cooperative and typed. The
+  // caller-held token is cancelled before a worker can start the attempt,
+  // so the outcome is deterministic.
+  {
+    const auto token = std::make_shared<CancelToken>();
+    token->cancel();
+    ExtractionJob job = service.submit(solvers[0], layout, stack, request_for(100),
+                                       {.cancel = token});
+    const Status status = job.wait();
+    std::printf("cancelled job: %s (status %s)\n", error_code_name(status.code()),
+                job_status_name(job.status()));
+  }
+
+  // A job that cannot make its deadline (for a cached key it would; seed 101
+  // is fresh, and 0.01 ms is hopeless).
+  {
+    ExtractionJob job = service.submit(solvers[0], layout, stack, request_for(101),
+                                       {.deadline_ms = 0.01});
+    const Status status = job.wait();
+    std::printf("deadline job: %s (status %s)\n", error_code_name(status.code()),
+                job_status_name(job.status()));
+  }
+
+  const ServiceStats stats = service.stats();
+  std::printf("service: accepted %zu, deduped %zu, shed %zu, retried %zu, cancelled %zu, "
+              "deadline-expired %zu, succeeded %zu, failed %zu\n",
+              stats.accepted, stats.deduped, stats.shed, stats.retried, stats.cancelled,
+              stats.deadline_expired, stats.succeeded, stats.failed);
+  std::printf("cache: %zu models resident, %zu bytes (budget %zu), %zu evictions\n",
+              service.cache().size(), service.cache().memory_bytes(),
+              service.cache().memory_budget(), service.cache().stats().evictions);
+
+  // Invariant gates for CI (under fault injection retried attempts may add
+  // solves, so gate on outcomes, not on the solve count).
+  if (failures.load() != 0) {
+    std::printf("FAIL: %d jobs failed\n", failures.load());
+    return 1;
+  }
+  if (stats.cancelled < 1 || stats.deadline_expired < 1) {
+    std::printf("FAIL: cancellation/deadline outcomes missing\n");
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

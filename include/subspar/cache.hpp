@@ -10,11 +10,22 @@
 // directory set, models additionally round-trip through the save_model /
 // load_model text format: a second process pays one file read, zero
 // black-box solves, and gets a bit-exact copy of the original model.
+//
+// The cache is fully thread-safe and built for concurrent service traffic:
+// entries live in 16 reader-writer-locked shards (hits from distinct keys
+// never contend on one mutex), the event counters are atomics, and an
+// optional memory budget bounds residency — inserting past the budget
+// evicts least-recently-used entries (the newest entry is never evicted,
+// so one oversized model still serves). Eviction only drops the in-memory
+// copy; persisted files survive and re-serve evicted keys from disk.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "subspar/extraction.hpp"
@@ -38,10 +49,15 @@ using CacheStats = CacheEvents;
 /// passes a (layout, stack) different from the solver's construction inputs
 /// gets a key no consistent caller can collide with, instead of silently
 /// poisoning theirs. Endian-independent and stable across processes (it is
-/// the persist filename) — extend with care.
+/// the persist filename) — extend with care. The observational request
+/// fields (`progress`, `cancel`) are excluded.
 std::string model_cache_key(const Layout& layout, const SubstrateStack& stack,
                             const ExtractionRequest& request,
                             const std::string& solver_tag = {});
+
+/// Estimated resident bytes of a model's sparse factors — the unit of the
+/// ModelCache memory budget (values + index structure of Q and G_w).
+std::size_t model_memory_bytes(const SparsifiedModel& model);
 
 class ModelCache {
  public:
@@ -51,7 +67,8 @@ class ModelCache {
   /// model-<key>.txt files via the core/io layer (checksummed, written
   /// atomically), and serves cold lookups from there. An unreadable,
   /// truncated, bit-flipped, or dimension-mismatched file is quarantined
-  /// (renamed to <file>.quarantined for post-mortem) and transparently
+  /// (renamed to <file>.quarantined.N, N monotonic per file so repeated
+  /// corruption of one key preserves every specimen) and transparently
   /// re-extracted; the fresh extraction then publishes a good file under
   /// the original name. Callers never see the corruption as an error —
   /// only as counters (stats(), report.cache) and a report.fallbacks line.
@@ -64,11 +81,13 @@ class ModelCache {
   /// the key, see model_cache_key). Hits consume zero black-box solves and
   /// return an in-memory copy of the model (O(nnz), no solver work); their
   /// report has from_cache = true, solves = 0, and
-  /// seconds = the lookup cost. The cache's own state is mutex-protected,
-  /// but a miss runs the extraction through the caller's solver, whose
-  /// solve/iteration counters are not synchronized — concurrent calls must
-  /// use distinct solver instances (or an external lock per solver);
-  /// concurrent misses then both extract, with one result kept. A failed
+  /// seconds = the lookup cost. The cache's own state is thread-safe
+  /// (sharded reader-writer locks, atomic counters), but a miss runs the
+  /// extraction through the caller's solver, whose solve/iteration counters
+  /// are not synchronized — concurrent calls must use distinct solver
+  /// instances (or an external lock per solver); concurrent misses of one
+  /// key then both extract, with one result kept — put an ExtractionService
+  /// (subspar/service.hpp) in front for in-flight deduplication. A failed
   /// persist write is swallowed (the fresh result is still returned and
   /// cached in memory); a persisted file whose dimension does not match the
   /// solver is treated as corrupt and re-extracted.
@@ -80,6 +99,14 @@ class ModelCache {
   bool contains(const SubstrateSolver& solver, const Layout& layout,
                 const SubstrateStack& stack, const ExtractionRequest& request = {}) const;
 
+  /// Bounds resident model bytes (model_memory_bytes units); exceeding it
+  /// evicts least-recently-used entries, except the most recent one. 0 (the
+  /// default) = unbounded. Takes effect immediately.
+  void set_memory_budget(std::size_t bytes);
+  std::size_t memory_budget() const { return memory_budget_.load(std::memory_order_acquire); }
+  /// Estimated bytes currently resident in memory.
+  std::size_t memory_bytes() const { return bytes_.load(std::memory_order_acquire); }
+
   /// Number of models resident in memory.
   std::size_t size() const;
   /// Drops the in-memory entries (persisted files are kept).
@@ -89,15 +116,34 @@ class ModelCache {
 
  private:
   struct Entry {
+    Entry(SparsifiedModel m, std::size_t b, std::uint64_t tick)
+        : model(std::move(m)), bytes(b), last_used(tick) {}
     SparsifiedModel model;  // hit reports are rebuilt from the model's metadata
+    std::size_t bytes;
+    std::atomic<std::uint64_t> last_used;  // LRU tick; stored on every hit
   };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, Entry> entries;
+  };
+  static constexpr std::size_t kShards = 16;
 
+  std::size_t shard_index(const std::string& key) const;
   std::string persist_path(const std::string& key) const;
+  /// Inserts (first writer wins) and applies the memory budget.
+  void insert_entry(const std::string& key, const SparsifiedModel& model);
+  void evict_to_budget();
 
   std::string persist_dir_;
-  std::map<std::string, Entry> entries_;
-  CacheStats stats_;
-  mutable std::mutex mutex_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> memory_budget_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> tick_{0};
+
+  // Cumulative event counters (stats()); atomics so concurrent hits/misses
+  // on different shards never race.
+  std::atomic<std::size_t> hits_{0}, misses_{0}, disk_loads_{0}, corruptions_{0},
+      quarantines_{0}, write_failures_{0}, evictions_{0};
 };
 
 }  // namespace subspar

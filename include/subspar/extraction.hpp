@@ -24,6 +24,7 @@
 #include "geometry/quadtree.hpp"
 #include "substrate/solver.hpp"
 #include "subspar/status.hpp"
+#include "util/cancel.hpp"
 
 namespace subspar {
 
@@ -46,6 +47,13 @@ struct ExtractionRequest {
   double threshold_sparsity_multiple = 0.0;
   /// Optional per-phase progress notifications.
   ProgressCallback progress;
+  /// Optional cooperative cancellation/deadline token. The Extractor
+  /// installs it for the duration of the pipeline and checks it at phase
+  /// boundaries, at every black-box solve batch, and inside the pcg_block /
+  /// RBK iteration loops; a tripped token surfaces as
+  /// ErrorCode::kCancelled / kDeadlineExceeded. Observational only —
+  /// excluded from cache keys, like `progress`.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Validates a request; throws std::invalid_argument naming the offending
@@ -75,8 +83,9 @@ struct CacheEvents {
   std::size_t misses = 0;
   std::size_t disk_loads = 0;
   std::size_t corruptions = 0;      ///< persisted files that failed load/validation
-  std::size_t quarantines = 0;      ///< corrupt files renamed aside (.quarantined)
+  std::size_t quarantines = 0;      ///< corrupt files renamed aside (.quarantined.N)
   std::size_t write_failures = 0;   ///< persist writes that failed (result still served)
+  std::size_t evictions = 0;        ///< entries dropped by the LRU memory budget
 };
 
 /// Structured account of one extraction: what it cost and what it produced,
@@ -106,6 +115,10 @@ struct ExtractionReport {
   /// Non-fatal advisories (e.g. columns that hit max_iterations but were
   /// recovered); also echoed to stderr as one-line warnings.
   std::vector<std::string> warnings;
+  /// Retry history when the result was produced by the ExtractionService:
+  /// one line per failed attempt that preceded the successful one (empty on
+  /// a first-attempt success and on the direct Extractor path).
+  std::vector<std::string> attempts;
   /// Cache events attributable to this request (all zero when no ModelCache
   /// was involved).
   CacheEvents cache;

@@ -29,6 +29,9 @@ enum class ErrorCode {
   kNumericalBreakdown,    ///< NaN/Inf crossed a phase boundary
   kCacheCorruption,       ///< persisted model failed integrity checks
   kIoError,               ///< file read/write failure
+  kCancelled,             ///< cooperative cancellation via a CancelToken
+  kDeadlineExceeded,      ///< per-request deadline expired mid-pipeline
+  kOverloaded,            ///< service queue full; request shed at admission
   kInternal,              ///< invariant violation / unclassified failure
 };
 

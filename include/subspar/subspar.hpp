@@ -9,6 +9,7 @@
 //   subspar/status.hpp      ErrorCode/ExtractionError/Status error model
 //   subspar/model.hpp       SparsifiedModel + save_model/load_model
 //   subspar/cache.hpp       keyed ModelCache (memoized + persisted models)
+//   subspar/service.hpp     ExtractionService concurrent job engine
 //   subspar/report.hpp      accuracy/sparsity scoring vs exact columns
 //   subspar/methods.hpp     wavelet / low-rank method internals
 //   subspar/linalg.hpp      Vector/Matrix/SparseMatrix/SVD
@@ -37,6 +38,7 @@
 #include "subspar/methods.hpp"
 #include "subspar/model.hpp"
 #include "subspar/report.hpp"
+#include "subspar/service.hpp"
 #include "subspar/solvers.hpp"
 #include "subspar/status.hpp"
 #include "subspar/substrate.hpp"

@@ -1,6 +1,7 @@
 #include "subspar/cache.hpp"
 
 #include <filesystem>
+#include <mutex>
 #include <utility>
 
 #include "core/io.hpp"
@@ -12,18 +13,22 @@
 namespace subspar {
 namespace {
 
-/// Renames a corrupt persisted model to '<path>.quarantined' (keeping only
-/// the most recent specimen) so it can be examined post-mortem instead of
-/// being silently overwritten. Rename failures are swallowed — quarantine
-/// is best-effort and must never turn a recoverable corruption into an
-/// error; the fresh extraction overwrites the bad file in that case.
+/// Renames a corrupt persisted model aside for post-mortem. The suffix is
+/// monotonic ('<path>.quarantined.1', '.2', ...): repeated corruption of the
+/// same key preserves every specimen instead of silently overwriting the
+/// earlier evidence. Rename failures are swallowed — quarantine is
+/// best-effort and must never turn a recoverable corruption into an error;
+/// the fresh extraction overwrites the bad file in that case.
 bool quarantine(const std::string& path) {
   std::error_code ec;
-  const std::string aside = path + ".quarantined";
-  std::filesystem::remove(aside, ec);
-  ec.clear();
-  std::filesystem::rename(path, aside, ec);
-  return !ec;
+  for (int n = 1; n < 10000; ++n) {
+    const std::string aside = path + ".quarantined." + std::to_string(n);
+    if (std::filesystem::exists(aside, ec)) continue;
+    ec.clear();
+    std::filesystem::rename(path, aside, ec);
+    return !ec;
+  }
+  return false;
 }
 
 ExtractionReport hit_report(const SparsifiedModel& model, double lookup_seconds) {
@@ -63,13 +68,82 @@ std::string model_cache_key(const Layout& layout, const SubstrateStack& stack,
   return hash.hex();
 }
 
+std::size_t model_memory_bytes(const SparsifiedModel& model) {
+  // CSR storage: one value + one column index per nonzero, one row offset
+  // per row, for each of the two factors.
+  const std::size_t per_nnz = sizeof(double) + sizeof(std::size_t);
+  return (model.q().nnz() + model.gw().nnz()) * per_nnz +
+         (model.q().rows() + model.gw().rows() + 2) * sizeof(std::size_t);
+}
+
 ModelCache::ModelCache(std::string persist_dir) : persist_dir_(std::move(persist_dir)) {
   SUBSPAR_REQUIRE(!persist_dir_.empty());
   std::filesystem::create_directories(persist_dir_);
 }
 
+std::size_t ModelCache::shard_index(const std::string& key) const {
+  Fnv1a hash;
+  hash.str(key);
+  return static_cast<std::size_t>(hash.h % kShards);
+}
+
 std::string ModelCache::persist_path(const std::string& key) const {
   return (std::filesystem::path(persist_dir_) / ("model-" + key + ".txt")).string();
+}
+
+void ModelCache::insert_entry(const std::string& key, const SparsifiedModel& model) {
+  Shard& shard = shards_[shard_index(key)];
+  const std::size_t bytes = model_memory_bytes(model);
+  const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.entries.try_emplace(key, model, bytes, tick);
+    if (!inserted) {
+      // Concurrent misses of one key both extract (documented); the first
+      // insert wins — identical bits either way by determinism — and the
+      // loser just refreshes recency.
+      it->second.last_used.store(tick, std::memory_order_relaxed);
+      return;
+    }
+  }
+  bytes_.fetch_add(bytes, std::memory_order_acq_rel);
+  evict_to_budget();
+}
+
+void ModelCache::evict_to_budget() {
+  const std::size_t budget = memory_budget_.load(std::memory_order_acquire);
+  if (budget == 0) return;
+  while (bytes_.load(std::memory_order_acquire) > budget) {
+    // Global LRU victim: scan every shard under shared locks for the oldest
+    // tick. O(entries), but eviction is rare relative to hits and the
+    // entry count at any sane budget is small.
+    std::size_t victim_shard = kShards;
+    std::string victim_key;
+    std::uint64_t victim_tick = ~std::uint64_t{0};
+    std::size_t total_entries = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const std::shared_lock<std::shared_mutex> lock(shards_[s].mutex);
+      total_entries += shards_[s].entries.size();
+      for (const auto& [key, entry] : shards_[s].entries) {
+        const std::uint64_t t = entry.last_used.load(std::memory_order_relaxed);
+        if (t < victim_tick) {
+          victim_tick = t;
+          victim_key = key;
+          victim_shard = s;
+        }
+      }
+    }
+    // Never evict the last entry: one model larger than the budget still
+    // serves (the budget bounds the tail, not the working item).
+    if (victim_shard == kShards || total_entries <= 1) return;
+    Shard& shard = shards_[victim_shard];
+    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(victim_key);
+    if (it == shard.entries.end()) continue;  // raced with clear(); rescan
+    bytes_.fetch_sub(it->second.bytes, std::memory_order_acq_rel);
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const Layout& layout,
@@ -80,16 +154,19 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
   const std::string key = model_cache_key(layout, stack, request, solver.cache_tag());
   Timer timer;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
+    Shard& shard = shards_[shard_index(key)];
+    const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      it->second.last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                 std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
       ExtractionReport report = hit_report(it->second.model, timer.seconds());
       report.cache.hits = 1;
       return ExtractionResult{it->second.model, std::move(report)};
     }
   }
-  CacheEvents events;  // events of this request, folded into stats_ at the end
+  CacheEvents events;  // events of this request, folded into the counters at the end
   std::string corrupt_note;
   if (!persist_dir_.empty()) {
     const std::string path = persist_path(key);
@@ -102,15 +179,13 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
         // a different extraction; size it against the requesting solver and
         // treat a mismatch like any other corrupt file (fresh extraction).
         SUBSPAR_REQUIRE(model.q().rows() == solver.n_contacts());
-        const std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.hits;
-        ++stats_.disk_loads;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        disk_loads_.fetch_add(1, std::memory_order_relaxed);
         ExtractionReport report = hit_report(model, timer.seconds());
         report.cache.hits = 1;
         report.cache.disk_loads = 1;
-        auto [it, inserted] = entries_.insert_or_assign(key, Entry{std::move(model)});
-        (void)inserted;
-        return ExtractionResult{it->second.model, std::move(report)};
+        insert_entry(key, model);
+        return ExtractionResult{std::move(model), std::move(report)};
       } catch (const std::exception& e) {
         // Corrupt, truncated, bit-flipped, torn, or mismatched persisted
         // model: quarantine the file for post-mortem, then fall through to
@@ -140,35 +215,55 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
   events.misses = 1;
   result.report.cache = events;
   if (!corrupt_note.empty()) result.report.fallbacks.push_back(corrupt_note);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.misses;
-  stats_.corruptions += events.corruptions;
-  stats_.quarantines += events.quarantines;
-  stats_.write_failures += events.write_failures;
-  entries_.insert_or_assign(key, Entry{result.model});
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  corruptions_.fetch_add(events.corruptions, std::memory_order_relaxed);
+  quarantines_.fetch_add(events.quarantines, std::memory_order_relaxed);
+  write_failures_.fetch_add(events.write_failures, std::memory_order_relaxed);
+  insert_entry(key, result.model);
   return result;
 }
 
 bool ModelCache::contains(const SubstrateSolver& solver, const Layout& layout,
                           const SubstrateStack& stack, const ExtractionRequest& request) const {
   const std::string key = model_cache_key(layout, stack, request, solver.cache_tag());
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.find(key) != entries_.end();
+  const Shard& shard = shards_[shard_index(key)];
+  const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.entries.find(key) != shard.entries.end();
+}
+
+void ModelCache::set_memory_budget(std::size_t bytes) {
+  memory_budget_.store(bytes, std::memory_order_release);
+  evict_to_budget();
 }
 
 std::size_t ModelCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 void ModelCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.entries)
+      bytes_.fetch_sub(entry.bytes, std::memory_order_acq_rel);
+    shard.entries.clear();
+  }
 }
 
 CacheStats ModelCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.disk_loads = disk_loads_.load(std::memory_order_relaxed);
+  out.corruptions = corruptions_.load(std::memory_order_relaxed);
+  out.quarantines = quarantines_.load(std::memory_order_relaxed);
+  out.write_failures = write_failures_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace subspar

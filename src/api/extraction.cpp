@@ -79,6 +79,10 @@ ExtractionResult Extractor::extract(const ExtractionRequest& request) const {
     return extract_impl(request);
   } catch (const ExtractionException&) {
     throw;
+  } catch (const CancelledError& e) {
+    throw ExtractionException({ErrorCode::kCancelled, e.where(), e.what()});
+  } catch (const DeadlineExceededError& e) {
+    throw ExtractionException({ErrorCode::kDeadlineExceeded, e.where(), e.what()});
   } catch (const SolverConvergenceError& e) {
     throw ExtractionException({ErrorCode::kSolverNonConvergence, "solve", e.what()});
   } catch (const std::exception& e) {
@@ -103,6 +107,11 @@ Status Extractor::try_extract(const ExtractionRequest& request,
 }
 
 ExtractionResult Extractor::extract_impl(const ExtractionRequest& request) const {
+  // Install the request's cancellation token for the whole pipeline: the
+  // phase boundaries below, every solve batch (substrate/solver.cpp), and
+  // the pcg_block / RBK loops all check it through the thread-local scope.
+  const CancelScope cancel_scope(request.cancel.get());
+  cancellation_point("extract-start");
   ExtractionReport report;
   const long solves_before = solver_->solve_count();
   Timer total;
@@ -110,6 +119,7 @@ ExtractionResult Extractor::extract_impl(const ExtractionRequest& request) const
   long phase_solves_mark = solves_before;
   SolverDiagnostics diag_mark = solver_->diagnostics();
   const auto phase_done = [&](const char* name) {
+    cancellation_point(name);
     const double s = phase_timer.seconds();
     const long solves = solver_->solve_count() - phase_solves_mark;
     const SolverDiagnostics now = solver_->diagnostics();

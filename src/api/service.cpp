@@ -1,0 +1,442 @@
+#include "subspar/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/service.hpp"
+#include "subspar/cache.hpp"
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace subspar {
+namespace {
+
+using detail::JobState;
+
+/// Deterministic jitter in [0, 1) for (seed, key, attempt): a 53-bit slice
+/// of the FNV digest. Pure, so a fault-injected run replays its backoff
+/// schedule bit-identically.
+double backoff_jitter(std::uint64_t seed, const std::string& key, int attempt) {
+  Fnv1a hash;
+  hash.u64(seed);
+  hash.str(key);
+  hash.u64(static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(hash.h >> 11) * (1.0 / 9007199254740992.0);  // / 2^53
+}
+
+/// Terminal status for a terminal error code.
+JobStatus status_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCancelled:
+      return JobStatus::kCancelled;
+    case ErrorCode::kDeadlineExceeded:
+      return JobStatus::kDeadlineExpired;
+    case ErrorCode::kOverloaded:
+      return JobStatus::kShed;
+    default:
+      return JobStatus::kFailed;
+  }
+}
+
+}  // namespace
+
+bool error_is_transient(ErrorCode code) {
+  return code == ErrorCode::kSolverNonConvergence || code == ErrorCode::kCacheCorruption ||
+         code == ErrorCode::kIoError;
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kSucceeded:
+      return "succeeded";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kDeadlineExpired:
+      return "deadline-expired";
+    case JobStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+bool job_status_terminal(JobStatus status) {
+  return status != JobStatus::kQueued && status != JobStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// ExtractionJob
+
+ExtractionJob::ExtractionJob(std::shared_ptr<detail::JobState> state)
+    : state_(std::move(state)) {}
+
+const std::string& ExtractionJob::key() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  return state_->key;
+}
+
+Status ExtractionJob::wait() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return job_status_terminal(state_->status); });
+  return state_->status == JobStatus::kSucceeded ? Status() : Status(state_->error);
+}
+
+bool ExtractionJob::wait_for(double ms) const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                             [&] { return job_status_terminal(state_->status); });
+}
+
+void ExtractionJob::cancel() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  state_->token->cancel();
+  // Wake a worker parked in a retry backoff for this job (the token itself
+  // is polled at the pipeline's cancellation points).
+  state_->cv.notify_all();
+}
+
+JobStatus ExtractionJob::status() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+JobProgress ExtractionJob::progress() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  JobProgress out;
+  out.status = state_->status;
+  out.phase = state_->phase;
+  out.attempts = state_->attempts;
+  return out;
+}
+
+const ExtractionResult& ExtractionJob::result() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  SUBSPAR_REQUIRE(state_->status == JobStatus::kSucceeded);
+  return *state_->result;
+}
+
+ExtractionError ExtractionJob::error() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->error;
+}
+
+std::vector<std::string> ExtractionJob::attempt_history() const {
+  SUBSPAR_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->attempt_history;
+}
+
+// ---------------------------------------------------------------------------
+// ExtractionService
+
+struct ExtractionService::Impl {
+  ServiceOptions options;
+  std::unique_ptr<ModelCache> cache;
+
+  // Admission state: the bounded queue and the in-flight dedup table
+  // (key -> job, present from admission until the job goes terminal).
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<JobState>> queue;
+  std::map<std::string, std::shared_ptr<JobState>> inflight;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  std::atomic<std::size_t> accepted{0}, deduped{0}, shed{0}, retried{0}, cancelled{0},
+      deadline_expired{0}, succeeded{0}, failed{0}, cache_hits{0};
+
+  void worker_loop();
+  void run_job(const std::shared_ptr<JobState>& job);
+  void finish(const std::shared_ptr<JobState>& job, std::optional<ExtractionResult> result,
+              ExtractionError error);
+  bool backoff_wait(const std::shared_ptr<JobState>& job, double delay_ms);
+};
+
+ExtractionService::ExtractionService(ServiceOptions options) : impl_(new Impl) {
+  SUBSPAR_REQUIRE(options.workers >= 1 && options.queue_capacity >= 1);
+  SUBSPAR_REQUIRE(options.retry.max_attempts >= 1);
+  impl_->options = std::move(options);
+  impl_->cache = impl_->options.persist_dir.empty()
+                     ? std::make_unique<ModelCache>()
+                     : std::make_unique<ModelCache>(impl_->options.persist_dir);
+  if (impl_->options.cache_memory_budget > 0)
+    impl_->cache->set_memory_budget(impl_->options.cache_memory_budget);
+  impl_->workers.reserve(impl_->options.workers);
+  for (std::size_t i = 0; i < impl_->options.workers; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ExtractionService::~ExtractionService() { shutdown(); }
+
+ExtractionJob ExtractionService::submit(std::shared_ptr<const SubstrateSolver> solver,
+                                        const Layout& layout, const SubstrateStack& stack,
+                                        ExtractionRequest request, SubmitOptions options) {
+  // Admission never throws: every rejection is an immediately-terminal job
+  // carrying the typed error, so callers handle one shape of outcome.
+  auto reject = [&](ErrorCode code, const std::string& phase, const std::string& detail) {
+    auto state = std::make_shared<JobState>("", solver, layout, stack, request);
+    state->token = options.cancel ? options.cancel : std::make_shared<CancelToken>();
+    state->error = ExtractionError{code, phase, detail};
+    state->status = status_for(code);
+    return ExtractionJob(std::move(state));
+  };
+
+  if (!solver) return reject(ErrorCode::kInvalidRequest, "submit", "solver is null");
+  try {
+    validate(request);
+  } catch (const std::exception& e) {
+    return reject(ErrorCode::kInvalidRequest, "validate", e.what());
+  }
+  const std::string key = model_cache_key(layout, stack, request, solver->cache_tag());
+
+  std::shared_ptr<JobState> state;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping)
+      return reject(ErrorCode::kOverloaded, "submit", "service is shut down");
+    const auto it = impl_->inflight.find(key);
+    if (it != impl_->inflight.end()) {
+      // Dedup attach: the caller's handle observes the in-flight job. A
+      // per-submit cancel token / deadline is not wired into a shared job —
+      // cancelling through the returned handle is.
+      impl_->deduped.fetch_add(1, std::memory_order_relaxed);
+      return ExtractionJob(it->second);
+    }
+    if (impl_->queue.size() >= impl_->options.queue_capacity) {
+      impl_->shed.fetch_add(1, std::memory_order_relaxed);
+      return reject(ErrorCode::kOverloaded, "submit",
+                    "queue full (" + std::to_string(impl_->options.queue_capacity) + " jobs)");
+    }
+    state = std::make_shared<JobState>(key, std::move(solver), layout, stack,
+                                       std::move(request));
+    state->retry = options.retry ? *options.retry : impl_->options.retry;
+    state->token = options.cancel ? options.cancel : std::make_shared<CancelToken>();
+    if (options.deadline_ms > 0.0) state->token->set_deadline_after_ms(options.deadline_ms);
+    impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+    impl_->inflight.emplace(key, state);
+    impl_->queue.push_back(state);
+  }
+  impl_->work_cv.notify_one();
+  return ExtractionJob(std::move(state));
+}
+
+void ExtractionService::Impl::worker_loop() {
+  // Service workers are their own single-threaded lanes: solve fan-outs run
+  // inline instead of funnelling through (and blocking behind) the shared
+  // SUBSPAR_THREADS pool — see ParallelInlineScope.
+  const ParallelInlineScope inline_scope;
+  for (;;) {
+    std::shared_ptr<JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) return;  // stopping, nothing left to drain
+      job = std::move(queue.front());
+      queue.pop_front();
+    }
+    run_job(job);
+  }
+}
+
+void ExtractionService::Impl::run_job(const std::shared_ptr<JobState>& job) {
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->status = JobStatus::kRunning;
+  }
+  ExtractionError final_error;
+  for (int attempt = 1; attempt <= job->retry.max_attempts; ++attempt) {
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->attempts = attempt;
+      job->phase.clear();
+    }
+    ExtractionError err;
+    try {
+      // The queue fault site ('q'): a transient infrastructure failure
+      // between dequeue and attempt start — the retry loop's own test hook.
+      if (fault_fire(FaultSite::kQueue))
+        throw ExtractionException({ErrorCode::kIoError, "service-queue",
+                                   "injected queue fault before attempt " +
+                                       std::to_string(attempt)});
+      // Covers cancellation/deadline expiry that happened while queued or
+      // during a backoff; later checks live inside the pipeline.
+      job->token->check("service-attempt");
+
+      ExtractionRequest req = job->request;
+      req.cancel = job->token;
+      const ProgressCallback user_progress = req.progress;
+      const std::weak_ptr<JobState> weak = job;
+      req.progress = [user_progress, weak](const std::string& phase, double seconds) {
+        if (const auto state = weak.lock()) {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->phase = phase;
+        }
+        if (user_progress) user_progress(phase, seconds);
+      };
+
+      ExtractionResult result = cache->get_or_extract(*job->solver, job->layout, job->stack, req);
+      if (result.report.from_cache) cache_hits.fetch_add(1, std::memory_order_relaxed);
+      succeeded.fetch_add(1, std::memory_order_relaxed);
+      finish(job, std::move(result), ExtractionError{});
+      return;
+    } catch (const CancelledError& e) {
+      err = ExtractionError{ErrorCode::kCancelled, e.where(), e.what()};
+    } catch (const DeadlineExceededError& e) {
+      err = ExtractionError{ErrorCode::kDeadlineExceeded, e.where(), e.what()};
+    } catch (const ExtractionException& e) {
+      err = e.error();
+    } catch (const std::invalid_argument& e) {
+      err = ExtractionError{ErrorCode::kInvalidRequest, "validate", e.what()};
+    } catch (const std::exception& e) {
+      err = ExtractionError{ErrorCode::kInternal, "service", e.what()};
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->attempt_history.push_back("attempt " + std::to_string(attempt) + ": " +
+                                     err.message());
+    }
+    if (!error_is_transient(err.code) || attempt == job->retry.max_attempts) {
+      final_error = err;
+      break;
+    }
+    retried.fetch_add(1, std::memory_order_relaxed);
+    const double delay = job->retry.base_backoff_ms *
+                         std::pow(job->retry.multiplier, attempt - 1) *
+                         (1.0 + backoff_jitter(options.backoff_jitter_seed, job->key, attempt));
+    if (!backoff_wait(job, delay)) {
+      // Interrupted: the next iteration's token->check (or the stopping
+      // drain) classifies the interruption; keep looping so the final error
+      // carries the checkpoint. A stopping service cancels tokens, so this
+      // resolves to kCancelled.
+      continue;
+    }
+  }
+  if (final_error.code == ErrorCode::kOk)
+    final_error = ExtractionError{ErrorCode::kInternal, "service", "retry loop exited"};
+  switch (final_error.code) {
+    case ErrorCode::kCancelled:
+      cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ErrorCode::kDeadlineExceeded:
+      deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  finish(job, std::nullopt, std::move(final_error));
+}
+
+void ExtractionService::Impl::finish(const std::shared_ptr<JobState>& job,
+                                     std::optional<ExtractionResult> result,
+                                     ExtractionError error) {
+  // In-flight erase precedes the terminal transition: a submit racing with a
+  // FAILURE can no longer attach to (and inherit) the dead job — it starts a
+  // fresh one instead. A submit racing with a success re-extracts through
+  // the cache, which already holds the entry, so it degrades to a hit.
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    inflight.erase(job->key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (result) {
+      result->report.attempts = job->attempt_history;
+      job->result = std::move(result);
+      job->status = JobStatus::kSucceeded;
+    } else {
+      job->error = std::move(error);
+      job->status = status_for(job->error.code);
+    }
+  }
+  job->cv.notify_all();
+}
+
+bool ExtractionService::Impl::backoff_wait(const std::shared_ptr<JobState>& job,
+                                           double delay_ms) {
+  // Sleeps the backoff on the job's cv so cancel() (which notifies it) and
+  // shutdown() (which cancels the token) interrupt immediately; a pending
+  // deadline caps the wait. Returns false when interrupted.
+  const auto wake_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(delay_ms));
+  std::unique_lock<std::mutex> lock(job->mutex);
+  for (;;) {
+    if (job->token->cancelled() || job->token->deadline_expired()) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= wake_at) return true;
+    auto next = wake_at;
+    if (job->token->has_deadline()) {
+      const auto deadline_wake =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        std::max(0.0, job->token->remaining_ms())));
+      next = std::min(next, deadline_wake);
+    }
+    job->cv.wait_until(lock, next);
+  }
+}
+
+void ExtractionService::shutdown() {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping && impl_->workers.empty()) return;
+    impl_->stopping = true;
+    // Cancel everything still in flight (queued jobs resolve to kCancelled
+    // when a worker drains them; running attempts trip their next
+    // cancellation point). Completed jobs are unaffected.
+    for (const auto& [key, job] : impl_->inflight) {
+      job->token->cancel();
+      job->cv.notify_all();
+    }
+    workers.swap(impl_->workers);
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+}
+
+ServiceStats ExtractionService::stats() const {
+  ServiceStats out;
+  out.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  out.deduped = impl_->deduped.load(std::memory_order_relaxed);
+  out.shed = impl_->shed.load(std::memory_order_relaxed);
+  out.retried = impl_->retried.load(std::memory_order_relaxed);
+  out.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
+  out.deadline_expired = impl_->deadline_expired.load(std::memory_order_relaxed);
+  out.succeeded = impl_->succeeded.load(std::memory_order_relaxed);
+  out.failed = impl_->failed.load(std::memory_order_relaxed);
+  out.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.queue_depth = impl_->queue.size();
+  out.in_flight = impl_->inflight.size();
+  return out;
+}
+
+ModelCache& ExtractionService::cache() { return *impl_->cache; }
+
+const ServiceOptions& ExtractionService::options() const { return impl_->options; }
+
+}  // namespace subspar

@@ -1,0 +1,58 @@
+// Internal: the shared per-job state behind ExtractionJob handles.
+//
+// One JobState exists per admitted key (deduplicated submissions share it via
+// shared_ptr). The immutable top section is written once at submit(); the
+// mutable section below `mutex` is the single source of truth for the job's
+// lifecycle — workers write it, handles read it, and `cv` releases every
+// waiter exactly once when the job reaches a terminal status.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "substrate/solver.hpp"
+#include "substrate/stack.hpp"
+#include "subspar/extraction.hpp"
+#include "subspar/service.hpp"
+#include "util/cancel.hpp"
+
+namespace subspar::detail {
+
+struct JobState {
+  // --- immutable after submit() ---------------------------------------
+  std::string key;  ///< ModelCache content hash; the dedup identity
+  std::shared_ptr<const SubstrateSolver> solver;
+  Layout layout;
+  SubstrateStack stack;
+  ExtractionRequest request;  ///< as submitted; the worker re-threads cancel/progress
+  RetryPolicy retry;
+  /// The job's cancellation token: the caller's (SubmitOptions::cancel) or
+  /// one minted at submit. The deadline, if any, is armed on it at submit
+  /// time so expiry covers queue wait as well as the attempts.
+  std::shared_ptr<CancelToken> token;
+
+  // --- lifecycle (guarded by mutex; cv signalled on every transition) --
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  std::string phase;  ///< last completed pipeline phase of the current attempt
+  int attempts = 0;   ///< attempts started
+  std::vector<std::string> attempt_history;  ///< one line per failed attempt
+  std::optional<ExtractionResult> result;    ///< set iff status == kSucceeded
+  ExtractionError error;                     ///< set iff terminally failed
+
+  JobState(std::string key_, std::shared_ptr<const SubstrateSolver> solver_, Layout layout_,
+           SubstrateStack stack_, ExtractionRequest request_)
+      : key(std::move(key_)),
+        solver(std::move(solver_)),
+        layout(std::move(layout_)),
+        stack(std::move(stack_)),
+        request(std::move(request_)) {}
+};
+
+}  // namespace subspar::detail

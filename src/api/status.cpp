@@ -10,6 +10,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNumericalBreakdown: return "numerical-breakdown";
     case ErrorCode::kCacheCorruption: return "cache-corruption";
     case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

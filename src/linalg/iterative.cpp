@@ -6,6 +6,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/eig_sym.hpp"
 #include "linalg/matrix.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace subspar {
@@ -142,6 +143,10 @@ Matrix pcg_block(const LinearOpMany& a, const Matrix& b, const IterOptions& opt,
   double stall_ref = 0.0;
   std::size_t stall_it = 0;
   for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    // Cooperative cancellation/deadline checkpoint: a long solve on a large
+    // grid spends essentially all its time in this loop, so per-iteration
+    // granularity is what bounds a cancelled job's latency.
+    cancellation_point("pcg_block");
     const Matrix q = a(p);
     const Matrix t = matmul_tn(p, q);
     const Matrix alpha = solve_block_gram(t, s);

@@ -6,6 +6,7 @@
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
 #include "substrate/solver.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -106,6 +107,10 @@ RbkRange rbk_range(const std::function<Matrix(const Matrix&)>& apply_many, std::
   // G^2-filtered directions); the fresh Gaussian columns supply the
   // independent responses the residual certificate is measured on.
   for (std::size_t round = 1; round <= options.max_iters; ++round) {
+    // Each Krylov round consumes a batch of black-box solves; checking here
+    // (in addition to the per-solve checkpoint) keeps a cancelled sketch
+    // from launching the next round's probe block.
+    cancellation_point("rbk-range");
     const Matrix fresh =
         rbk_gaussian_probes(n, b, rbk_stream_seed(seed, 0, static_cast<int>(round), 0, 0));
     const Matrix probes = Matrix::hcat(out.basis, fresh);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
 
@@ -34,12 +35,14 @@ std::string substrate_fingerprint(const Layout& layout, const SubstrateStack& st
 
 Vector SubstrateSolver::solve(const Vector& contact_voltages) const {
   SUBSPAR_REQUIRE(contact_voltages.size() == n_contacts());
+  cancellation_point("solve");
   ++solve_count_;
   return do_solve(contact_voltages);
 }
 
 Matrix SubstrateSolver::solve_many(const Matrix& contact_voltages) const {
   SUBSPAR_REQUIRE(contact_voltages.rows() == n_contacts());
+  cancellation_point("solve-many");
   solve_count_ += static_cast<long>(contact_voltages.cols());
   return do_solve_many(contact_voltages);
 }

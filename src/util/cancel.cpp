@@ -1,0 +1,52 @@
+#include "util/cancel.hpp"
+
+namespace subspar {
+namespace {
+
+thread_local const CancelToken* g_current_token = nullptr;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancelToken::set_deadline_after_ms(double ms) {
+  const double ns = ms * 1e6;
+  std::int64_t deadline = now_ns() + static_cast<std::int64_t>(ns);
+  if (deadline == 0) deadline = 1;  // 0 is the "no deadline" sentinel
+  deadline_ns_.store(deadline, std::memory_order_release);
+}
+
+bool CancelToken::deadline_expired() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+  return d != 0 && now_ns() >= d;
+}
+
+double CancelToken::remaining_ms() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+  if (d == 0) return 1e300;
+  return static_cast<double>(d - now_ns()) * 1e-6;
+}
+
+void CancelToken::check(const char* where) const {
+  if (cancelled()) throw CancelledError(where);
+  if (deadline_expired()) throw DeadlineExceededError(where);
+}
+
+CancelScope::CancelScope(const CancelToken* token) : previous_(g_current_token) {
+  g_current_token = token;
+}
+
+CancelScope::~CancelScope() { g_current_token = previous_; }
+
+const CancelToken* current_cancel_token() { return g_current_token; }
+
+void cancellation_point(const char* where) {
+  const CancelToken* token = g_current_token;
+  if (token != nullptr) token->check(where);
+}
+
+}  // namespace subspar

@@ -28,7 +28,7 @@ struct Config {
   std::uint64_t seed = 0;
   double rate = 0.02;
   std::uint64_t cooldown = 500;
-  bool site_on[kFaultSiteCount] = {true, true, true, true, true};
+  bool site_on[kFaultSiteCount] = {true, true, true, true, true, true};
 };
 
 Config parse_env() {
@@ -60,6 +60,7 @@ Config parse_env() {
         case 'r': cfg.site_on[static_cast<int>(FaultSite::kCacheRead)] = true; break;
         case 'w': cfg.site_on[static_cast<int>(FaultSite::kCacheWrite)] = true; break;
         case 'i': cfg.site_on[static_cast<int>(FaultSite::kIo)] = true; break;
+        case 'q': cfg.site_on[static_cast<int>(FaultSite::kQueue)] = true; break;
         default: break;  // ignore separators/unknown letters
       }
     }
@@ -96,6 +97,7 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kCacheRead: return "cache-read";
     case FaultSite::kCacheWrite: return "cache-write";
     case FaultSite::kIo: return "io";
+    case FaultSite::kQueue: return "queue";
   }
   return "unknown";
 }

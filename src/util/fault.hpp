@@ -14,7 +14,7 @@
 // them. `rate` is the per-invocation fire probability (default 0.02);
 // `cooldown` suppresses a site for that many invocations after it fires
 // (default 500) so a recovery attempt is not re-poisoned before it can
-// verify; `sites` restricts firing to a subset (letters a/s/r/w/i per the
+// verify; `sites` restricts firing to a subset (letters a/s/r/w/i/q per the
 // FaultSite enum, default all).
 //
 // With SUBSPAR_FAULT unset the harness is inert: fault_fire() returns false
@@ -33,8 +33,9 @@ enum class FaultSite : int {
   kCacheRead,        ///< ModelCache persisted-file read ('r')
   kCacheWrite,       ///< model-file write, before the atomic rename ('w')
   kIo,               ///< low-level model-file parse ('i')
+  kQueue,            ///< service queue path, before a job attempt starts ('q')
 };
-inline constexpr int kFaultSiteCount = 5;
+inline constexpr int kFaultSiteCount = 6;
 
 /// Human-readable site name ("solver-apply", ...).
 const char* fault_site_name(FaultSite site);

@@ -16,6 +16,7 @@ namespace {
 
 thread_local bool g_in_worker = false;    // pool worker thread
 thread_local bool g_in_parallel = false;  // caller currently inside parallel_for
+thread_local bool g_inline_scope = false;  // inside a ParallelInlineScope
 
 std::size_t env_thread_count() {
   if (const char* env = std::getenv("SUBSPAR_THREADS")) {
@@ -53,6 +54,11 @@ class Pool {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    // One job at a time: concurrent external callers (e.g. two service
+    // worker threads outside any ParallelInlineScope) would otherwise
+    // clobber the in-flight job_fn_/active_ state mid-job. The second
+    // caller queues here until the first job fully drains.
+    const std::lock_guard<std::mutex> serialize(run_mutex_);
     std::exception_ptr error;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -111,6 +117,7 @@ class Pool {
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  // serializes whole jobs across external callers
   std::mutex mutex_;
   std::condition_variable wake_, done_;
   bool stop_ = false;
@@ -145,8 +152,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   // No nested parallelism: a body running on a pool worker OR on a caller
   // that is itself inside a parallel_for (the caller participates in
   // draining its own job) runs inline — re-entering Pool::run mid-job
-  // would clobber the in-flight job state.
-  if (g_in_worker || g_in_parallel) {
+  // would clobber the in-flight job state. ParallelInlineScope callers
+  // (external job-engine workers) run inline by design: they must not
+  // block behind the shared pool while sibling workers hold it.
+  if (g_in_worker || g_in_parallel || g_inline_scope) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -159,5 +168,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   }
   g_in_parallel = false;
 }
+
+ParallelInlineScope::ParallelInlineScope() : previous_(g_inline_scope) {
+  g_inline_scope = true;
+}
+
+ParallelInlineScope::~ParallelInlineScope() { g_inline_scope = previous_; }
 
 }  // namespace subspar

@@ -22,9 +22,32 @@ void set_thread_count(std::size_t n);
 
 /// Runs fn(i) for every i in [0, n), blocking until all complete. The body
 /// must only write state owned by index i. Work is executed inline when the
-/// pool has one thread or when called from inside a pool worker (no nested
-/// parallelism). The first exception thrown by any body is rethrown on the
-/// caller.
+/// pool has one thread, when called from inside a pool worker (no nested
+/// parallelism), or when the calling thread is inside a ParallelInlineScope.
+/// Concurrent calls from distinct external threads are safe: the pool runs
+/// one job at a time and serializes the callers. The first exception thrown
+/// by any body is rethrown on the caller.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// RAII marker for external job-engine worker threads (ExtractionService
+/// workers and anything like them): every parallel_for issued from this
+/// thread while the scope is alive runs inline on the caller instead of
+/// scheduling on — and blocking behind — the shared SUBSPAR_THREADS pool.
+/// Without this, N service workers all funnel their solve_many fan-outs
+/// through the one pool and serialize (or, worse, a pool sized below the
+/// worker count deadlocks the system under a blocking-job design); with it,
+/// each worker is its own single-threaded lane and jobs overlap freely.
+/// Inline execution is bit-identical to pooled execution by the pool's
+/// schedule-independence guarantee. Scopes nest.
+class ParallelInlineScope {
+ public:
+  ParallelInlineScope();
+  ~ParallelInlineScope();
+  ParallelInlineScope(const ParallelInlineScope&) = delete;
+  ParallelInlineScope& operator=(const ParallelInlineScope&) = delete;
+
+ private:
+  bool previous_;
+};
 
 }  // namespace subspar

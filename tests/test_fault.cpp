@@ -244,11 +244,21 @@ void corrupt_and_expect_transparent_reextraction(
   EXPECT_EQ(cold.stats().quarantines, 1u);
   ASSERT_FALSE(second.report.fallbacks.empty());
   EXPECT_NE(second.report.fallbacks[0].find("quarantined"), std::string::npos);
-  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  EXPECT_TRUE(fs::exists(path + ".quarantined.1"));
   // The re-extraction re-published a healthy file under the original name.
   EXPECT_NO_THROW(load_model(path));
 
-  // Third access: a clean disk hit.
+  // Corrupt the re-published file too: the second specimen lands beside the
+  // first (.quarantined.2) instead of overwriting the earlier evidence.
+  corrupt(path);
+  ModelCache cold2(dir);
+  const ExtractionResult third_result =
+      cold2.get_or_extract(*rig2.solver, rig2.layout, rig2.stack, rig2.request);
+  expect_models_bit_equal(first.model, third_result.model);
+  EXPECT_TRUE(fs::exists(path + ".quarantined.1"));
+  EXPECT_TRUE(fs::exists(path + ".quarantined.2"));
+
+  // Next access: a clean disk hit.
   ModelCache third(dir);
   const ExtractionResult hit =
       third.get_or_extract(*rig2.solver, rig2.layout, rig2.stack, rig2.request);

@@ -1,12 +1,18 @@
 // Tests for the utility substrate: RNG determinism and statistics, table
-// formatting, and the plotting helpers.
+// formatting, plotting helpers, the thread pool's concurrent-caller
+// guarantees, and cooperative cancellation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/plot.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -161,6 +167,72 @@ TEST(Timer, MeasuresNonNegativeTime) {
   for (int i = 0; i < 1000; ++i) sink += std::sqrt(static_cast<double>(i));
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GT(sink, 0.0);
+}
+
+// Regression for the service-era pool contract: parallel_for called
+// concurrently from several EXTERNAL threads must serialize whole jobs and
+// keep every caller's results intact. Before the pool's per-job
+// serialization, a second caller clobbered the shared job state mid-run
+// (lost indices, hangs); this drives that interleaving hard.
+TEST(Parallel, ConcurrentExternalCallersKeepTheirJobsIntact) {
+  constexpr int kCallers = 4;
+  constexpr std::size_t kItems = 2000;
+  std::vector<std::vector<int>> results(kCallers, std::vector<int>(kItems, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c)
+    callers.emplace_back([&results, c] {
+      for (int round = 0; round < 5; ++round)
+        parallel_for(kItems, [&results, c](std::size_t i) {
+          results[c][i] += 1;  // body writes only caller-c, index-i state
+        });
+    });
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    for (std::size_t i = 0; i < kItems; ++i)
+      ASSERT_EQ(results[c][i], 5) << "caller " << c << " lost index " << i;
+}
+
+TEST(Parallel, InlineScopeRunsBodiesOnTheCallingThread) {
+  const ParallelInlineScope scope;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  parallel_for(64, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(Cancel, CheckpointIsInertWithoutAScopeAndTripsInsideOne) {
+  EXPECT_NO_THROW(cancellation_point("outside"));
+  CancelToken token;
+  {
+    const CancelScope scope(&token);
+    EXPECT_NO_THROW(cancellation_point("armed-but-idle"));
+    token.cancel();
+    EXPECT_THROW(cancellation_point("after-cancel"), CancelledError);
+  }
+  // Scope popped: the cancelled token no longer affects this thread.
+  EXPECT_NO_THROW(cancellation_point("outside-again"));
+}
+
+TEST(Cancel, DeadlineExpiryTripsTyped) {
+  CancelToken token;
+  token.set_deadline_after_ms(-1.0);  // already expired
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_expired());
+  const CancelScope scope(&token);
+  EXPECT_THROW(cancellation_point("expired"), DeadlineExceededError);
+}
+
+TEST(Cancel, RemainingMsCountsDown) {
+  CancelToken token;
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_GT(token.remaining_ms(), 1e12);  // effectively unbounded
+  token.set_deadline_after_ms(10000.0);
+  const double remaining = token.remaining_ms();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 10000.0);
 }
 
 }  // namespace
