@@ -16,7 +16,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,7 +80,7 @@ int main(int argc, char** argv) {
   std::printf("service contention: %d clients x %d keys x %d rounds (n = %zu)\n", clients,
               keys, rounds, layout.n_contacts());
 
-  std::mutex latency_mutex;
+  Mutex latency_mutex;  // subspar/util.hpp: the annotated wrapper, same as library code
   std::vector<double> latencies_ms;
   long failures = 0;
 
@@ -102,7 +101,7 @@ int main(int argc, char** argv) {
           if (!job.wait().ok()) ++local_failures;
           local.push_back(now_ms() - start);
         }
-      const std::lock_guard<std::mutex> lock(latency_mutex);
+      const MutexLock lock(latency_mutex);
       latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
       failures += local_failures;
     });

@@ -25,11 +25,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <shared_mutex>
 #include <string>
 
 #include "subspar/extraction.hpp"
 #include "substrate/stack.hpp"
+#include "util/sync.hpp"
 
 namespace subspar {
 
@@ -123,8 +123,11 @@ class ModelCache {
     std::atomic<std::uint64_t> last_used;  // LRU tick; stored on every hit
   };
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::map<std::string, Entry> entries;
+    // Reader-writer capability: hits take SharedLock, inserts/evictions take
+    // ExclusiveLock; the entry map is annotated so a clang -Wthread-safety
+    // build rejects any unlocked access at compile time.
+    mutable SharedMutex mutex;
+    std::map<std::string, Entry> entries SUBSPAR_GUARDED_BY(mutex);
   };
   static constexpr std::size_t kShards = 16;
 

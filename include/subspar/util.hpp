@@ -7,5 +7,6 @@
 #include "util/parallel.hpp"
 #include "util/plot.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"

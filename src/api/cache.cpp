@@ -1,13 +1,13 @@
 #include "subspar/cache.hpp"
 
 #include <filesystem>
-#include <mutex>
 #include <utility>
 
 #include "core/io.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/hash.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace subspar {
@@ -96,7 +96,7 @@ void ModelCache::insert_entry(const std::string& key, const SparsifiedModel& mod
   const std::size_t bytes = model_memory_bytes(model);
   const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const ExclusiveLock lock(shard.mutex);
     const auto [it, inserted] = shard.entries.try_emplace(key, model, bytes, tick);
     if (!inserted) {
       // Concurrent misses of one key both extract (documented); the first
@@ -122,9 +122,12 @@ void ModelCache::evict_to_budget() {
     std::uint64_t victim_tick = ~std::uint64_t{0};
     std::size_t total_entries = 0;
     for (std::size_t s = 0; s < kShards; ++s) {
-      const std::shared_lock<std::shared_mutex> lock(shards_[s].mutex);
-      total_entries += shards_[s].entries.size();
-      for (const auto& [key, entry] : shards_[s].entries) {
+      // Local shard reference: the analysis ties the lock expression and the
+      // guarded accesses to the same variable.
+      const Shard& scan = shards_[s];
+      const SharedLock lock(scan.mutex);
+      total_entries += scan.entries.size();
+      for (const auto& [key, entry] : scan.entries) {
         const std::uint64_t t = entry.last_used.load(std::memory_order_relaxed);
         if (t < victim_tick) {
           victim_tick = t;
@@ -137,7 +140,7 @@ void ModelCache::evict_to_budget() {
     // serves (the budget bounds the tail, not the working item).
     if (victim_shard == kShards || total_entries <= 1) return;
     Shard& shard = shards_[victim_shard];
-    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const ExclusiveLock lock(shard.mutex);
     const auto it = shard.entries.find(victim_key);
     if (it == shard.entries.end()) continue;  // raced with clear(); rescan
     bytes_.fetch_sub(it->second.bytes, std::memory_order_acq_rel);
@@ -155,7 +158,7 @@ ExtractionResult ModelCache::get_or_extract(const SubstrateSolver& solver, const
   Timer timer;
   {
     Shard& shard = shards_[shard_index(key)];
-    const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const SharedLock lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       it->second.last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -227,7 +230,7 @@ bool ModelCache::contains(const SubstrateSolver& solver, const Layout& layout,
                           const SubstrateStack& stack, const ExtractionRequest& request) const {
   const std::string key = model_cache_key(layout, stack, request, solver.cache_tag());
   const Shard& shard = shards_[shard_index(key)];
-  const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const SharedLock lock(shard.mutex);
   return shard.entries.find(key) != shard.entries.end();
 }
 
@@ -239,7 +242,7 @@ void ModelCache::set_memory_budget(std::size_t bytes) {
 std::size_t ModelCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const SharedLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -247,7 +250,7 @@ std::size_t ModelCache::size() const {
 
 void ModelCache::clear() {
   for (Shard& shard : shards_) {
-    const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const ExclusiveLock lock(shard.mutex);
     for (const auto& [key, entry] : shard.entries)
       bytes_.fetch_sub(entry.bytes, std::memory_order_acq_rel);
     shard.entries.clear();

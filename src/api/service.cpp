@@ -17,6 +17,7 @@
 #include "util/fault.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 
 namespace subspar {
 namespace {
@@ -81,6 +82,10 @@ bool job_status_terminal(JobStatus status) {
 
 // ---------------------------------------------------------------------------
 // ExtractionJob
+//
+// Condition-variable predicates are explicit while-loops (not lambdas) so the
+// thread-safety analysis checks every guarded read against the held lock —
+// see util/sync.hpp.
 
 ExtractionJob::ExtractionJob(std::shared_ptr<detail::JobState> state)
     : state_(std::move(state)) {}
@@ -92,35 +97,47 @@ const std::string& ExtractionJob::key() const {
 
 Status ExtractionJob::wait() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return job_status_terminal(state_->status); });
+  MutexUniqueLock lock(state_->mutex);
+  while (!job_status_terminal(state_->status)) state_->cv.wait(lock);
   return state_->status == JobStatus::kSucceeded ? Status() : Status(state_->error);
 }
 
 bool ExtractionJob::wait_for(double ms) const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  return state_->cv.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
-                             [&] { return job_status_terminal(state_->status); });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+  MutexUniqueLock lock(state_->mutex);
+  while (!job_status_terminal(state_->status)) {
+    if (state_->cv.wait_until(lock, deadline) == std::cv_status::timeout)
+      return job_status_terminal(state_->status);
+  }
+  return true;
 }
 
 void ExtractionJob::cancel() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
   state_->token->cancel();
   // Wake a worker parked in a retry backoff for this job (the token itself
-  // is polled at the pipeline's cancellation points).
+  // is polled at the pipeline's cancellation points). The notify happens
+  // under the job mutex: the backoff waiter's "check token, then park"
+  // sequence holds the mutex throughout, so locking here closes the window
+  // where cancel() could fire between the check and the park and the notify
+  // would be lost — leaving the worker asleep for the full backoff delay.
+  const MutexLock lock(state_->mutex);
   state_->cv.notify_all();
 }
 
 JobStatus ExtractionJob::status() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  const MutexLock lock(state_->mutex);
   return state_->status;
 }
 
 JobProgress ExtractionJob::progress() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  const MutexLock lock(state_->mutex);
   JobProgress out;
   out.status = state_->status;
   out.phase = state_->phase;
@@ -130,20 +147,20 @@ JobProgress ExtractionJob::progress() const {
 
 const ExtractionResult& ExtractionJob::result() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  const MutexLock lock(state_->mutex);
   SUBSPAR_REQUIRE(state_->status == JobStatus::kSucceeded);
   return *state_->result;
 }
 
 ExtractionError ExtractionJob::error() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  const MutexLock lock(state_->mutex);
   return state_->error;
 }
 
 std::vector<std::string> ExtractionJob::attempt_history() const {
   SUBSPAR_REQUIRE(state_ != nullptr);
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  const MutexLock lock(state_->mutex);
   return state_->attempt_history;
 }
 
@@ -156,20 +173,22 @@ struct ExtractionService::Impl {
 
   // Admission state: the bounded queue and the in-flight dedup table
   // (key -> job, present from admission until the job goes terminal).
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::deque<std::shared_ptr<JobState>> queue;
-  std::map<std::string, std::shared_ptr<JobState>> inflight;
-  bool stopping = false;
-  std::vector<std::thread> workers;
+  // Acquired BEFORE any JobState::mutex when both are needed (see
+  // api/service.hpp).
+  Mutex mutex;
+  CondVar work_cv;
+  std::deque<std::shared_ptr<JobState>> queue SUBSPAR_GUARDED_BY(mutex);
+  std::map<std::string, std::shared_ptr<JobState>> inflight SUBSPAR_GUARDED_BY(mutex);
+  bool stopping SUBSPAR_GUARDED_BY(mutex) = false;
+  std::vector<std::thread> workers SUBSPAR_GUARDED_BY(mutex);
 
   std::atomic<std::size_t> accepted{0}, deduped{0}, shed{0}, retried{0}, cancelled{0},
       deadline_expired{0}, succeeded{0}, failed{0}, cache_hits{0};
 
-  void worker_loop();
-  void run_job(const std::shared_ptr<JobState>& job);
+  void worker_loop() SUBSPAR_EXCLUDES(mutex);
+  void run_job(const std::shared_ptr<JobState>& job) SUBSPAR_EXCLUDES(mutex);
   void finish(const std::shared_ptr<JobState>& job, std::optional<ExtractionResult> result,
-              ExtractionError error);
+              ExtractionError error) SUBSPAR_EXCLUDES(mutex);
   bool backoff_wait(const std::shared_ptr<JobState>& job, double delay_ms);
 };
 
@@ -182,6 +201,12 @@ ExtractionService::ExtractionService(ServiceOptions options) : impl_(new Impl) {
                      : std::make_unique<ModelCache>(impl_->options.persist_dir);
   if (impl_->options.cache_memory_budget > 0)
     impl_->cache->set_memory_budget(impl_->options.cache_memory_budget);
+  // The workers vector is Impl state guarded by Impl::mutex; take the lock
+  // even though no worker can race the constructor until it is released —
+  // clang's analysis does not exempt accesses to another object's guarded
+  // members just because we are in a constructor body, and the uncontended
+  // acquisition is free.
+  const MutexLock lock(impl_->mutex);
   impl_->workers.reserve(impl_->options.workers);
   for (std::size_t i = 0; i < impl_->options.workers; ++i)
     impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
@@ -197,6 +222,9 @@ ExtractionJob ExtractionService::submit(std::shared_ptr<const SubstrateSolver> s
   auto reject = [&](ErrorCode code, const std::string& phase, const std::string& detail) {
     auto state = std::make_shared<JobState>("", solver, layout, stack, request);
     state->token = options.cancel ? options.cancel : std::make_shared<CancelToken>();
+    // The fresh state is not shared yet, but status/error are guarded
+    // members; the uncontended lock keeps the analysis airtight.
+    const MutexLock lock(state->mutex);
     state->error = ExtractionError{code, phase, detail};
     state->status = status_for(code);
     return ExtractionJob(std::move(state));
@@ -212,7 +240,7 @@ ExtractionJob ExtractionService::submit(std::shared_ptr<const SubstrateSolver> s
 
   std::shared_ptr<JobState> state;
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const MutexLock lock(impl_->mutex);
     if (impl_->stopping)
       return reject(ErrorCode::kOverloaded, "submit", "service is shut down");
     const auto it = impl_->inflight.find(key);
@@ -249,8 +277,8 @@ void ExtractionService::Impl::worker_loop() {
   for (;;) {
     std::shared_ptr<JobState> job;
     {
-      std::unique_lock<std::mutex> lock(mutex);
-      work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+      MutexUniqueLock lock(mutex);
+      while (!stopping && queue.empty()) work_cv.wait(lock);
       if (queue.empty()) return;  // stopping, nothing left to drain
       job = std::move(queue.front());
       queue.pop_front();
@@ -261,13 +289,13 @@ void ExtractionService::Impl::worker_loop() {
 
 void ExtractionService::Impl::run_job(const std::shared_ptr<JobState>& job) {
   {
-    const std::lock_guard<std::mutex> lock(job->mutex);
+    const MutexLock lock(job->mutex);
     job->status = JobStatus::kRunning;
   }
   ExtractionError final_error;
   for (int attempt = 1; attempt <= job->retry.max_attempts; ++attempt) {
     {
-      const std::lock_guard<std::mutex> lock(job->mutex);
+      const MutexLock lock(job->mutex);
       job->attempts = attempt;
       job->phase.clear();
     }
@@ -289,7 +317,7 @@ void ExtractionService::Impl::run_job(const std::shared_ptr<JobState>& job) {
       const std::weak_ptr<JobState> weak = job;
       req.progress = [user_progress, weak](const std::string& phase, double seconds) {
         if (const auto state = weak.lock()) {
-          const std::lock_guard<std::mutex> lock(state->mutex);
+          const MutexLock lock(state->mutex);
           state->phase = phase;
         }
         if (user_progress) user_progress(phase, seconds);
@@ -312,7 +340,7 @@ void ExtractionService::Impl::run_job(const std::shared_ptr<JobState>& job) {
       err = ExtractionError{ErrorCode::kInternal, "service", e.what()};
     }
     {
-      const std::lock_guard<std::mutex> lock(job->mutex);
+      const MutexLock lock(job->mutex);
       job->attempt_history.push_back("attempt " + std::to_string(attempt) + ": " +
                                      err.message());
     }
@@ -356,11 +384,11 @@ void ExtractionService::Impl::finish(const std::shared_ptr<JobState>& job,
   // fresh one instead. A submit racing with a success re-extracts through
   // the cache, which already holds the entry, so it degrades to a hit.
   {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     inflight.erase(job->key);
   }
   {
-    const std::lock_guard<std::mutex> lock(job->mutex);
+    const MutexLock lock(job->mutex);
     if (result) {
       result->report.attempts = job->attempt_history;
       job->result = std::move(result);
@@ -377,12 +405,15 @@ bool ExtractionService::Impl::backoff_wait(const std::shared_ptr<JobState>& job,
                                            double delay_ms) {
   // Sleeps the backoff on the job's cv so cancel() (which notifies it) and
   // shutdown() (which cancels the token) interrupt immediately; a pending
-  // deadline caps the wait. Returns false when interrupted.
+  // deadline caps the wait. Returns false when interrupted. The token check
+  // and the park both happen under the job mutex, pairing with the locked
+  // notify in ExtractionJob::cancel()/shutdown(): an interrupt can never
+  // slip between the check and the wait.
   const auto wake_at =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(delay_ms));
-  std::unique_lock<std::mutex> lock(job->mutex);
+  MutexUniqueLock lock(job->mutex);
   for (;;) {
     if (job->token->cancelled() || job->token->deadline_expired()) return false;
     const auto now = std::chrono::steady_clock::now();
@@ -402,14 +433,18 @@ bool ExtractionService::Impl::backoff_wait(const std::shared_ptr<JobState>& job,
 void ExtractionService::shutdown() {
   std::vector<std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const MutexLock lock(impl_->mutex);
     if (impl_->stopping && impl_->workers.empty()) return;
     impl_->stopping = true;
     // Cancel everything still in flight (queued jobs resolve to kCancelled
     // when a worker drains them; running attempts trip their next
-    // cancellation point). Completed jobs are unaffected.
+    // cancellation point). Completed jobs are unaffected. Each job's cv is
+    // notified under that job's mutex — same lost-wakeup reasoning as
+    // ExtractionJob::cancel(); the service mutex is acquired first, per the
+    // documented lock order.
     for (const auto& [key, job] : impl_->inflight) {
       job->token->cancel();
+      const MutexLock job_lock(job->mutex);
       job->cv.notify_all();
     }
     workers.swap(impl_->workers);
@@ -429,7 +464,7 @@ ServiceStats ExtractionService::stats() const {
   out.succeeded = impl_->succeeded.load(std::memory_order_relaxed);
   out.failed = impl_->failed.load(std::memory_order_relaxed);
   out.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const MutexLock lock(impl_->mutex);
   out.queue_depth = impl_->queue.size();
   out.in_flight = impl_->inflight.size();
   return out;

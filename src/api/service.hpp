@@ -4,12 +4,17 @@
 // shared_ptr). The immutable top section is written once at submit(); the
 // mutable section below `mutex` is the single source of truth for the job's
 // lifecycle — workers write it, handles read it, and `cv` releases every
-// waiter exactly once when the job reaches a terminal status.
+// waiter exactly once when the job reaches a terminal status. The lifecycle
+// fields carry SUBSPAR_GUARDED_BY(mutex) capability annotations: a clang
+// -Wthread-safety build proves every access takes the lock.
+//
+// Lock ordering: when ExtractionService::Impl::mutex and a JobState::mutex
+// are both needed, the service mutex is acquired FIRST (shutdown iterates
+// the in-flight table and pokes each job's cv under both). No path acquires
+// them in the reverse order — finish() takes them strictly in sequence.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +25,7 @@
 #include "subspar/extraction.hpp"
 #include "subspar/service.hpp"
 #include "util/cancel.hpp"
+#include "util/sync.hpp"
 
 namespace subspar::detail {
 
@@ -37,14 +43,17 @@ struct JobState {
   std::shared_ptr<CancelToken> token;
 
   // --- lifecycle (guarded by mutex; cv signalled on every transition) --
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  JobStatus status = JobStatus::kQueued;
-  std::string phase;  ///< last completed pipeline phase of the current attempt
-  int attempts = 0;   ///< attempts started
-  std::vector<std::string> attempt_history;  ///< one line per failed attempt
-  std::optional<ExtractionResult> result;    ///< set iff status == kSucceeded
-  ExtractionError error;                     ///< set iff terminally failed
+  mutable Mutex mutex;
+  mutable CondVar cv;
+  JobStatus status SUBSPAR_GUARDED_BY(mutex) = JobStatus::kQueued;
+  /// Last completed pipeline phase of the current attempt.
+  std::string phase SUBSPAR_GUARDED_BY(mutex);
+  int attempts SUBSPAR_GUARDED_BY(mutex) = 0;  ///< attempts started
+  /// One line per failed attempt.
+  std::vector<std::string> attempt_history SUBSPAR_GUARDED_BY(mutex);
+  /// Set iff status == kSucceeded.
+  std::optional<ExtractionResult> result SUBSPAR_GUARDED_BY(mutex);
+  ExtractionError error SUBSPAR_GUARDED_BY(mutex);  ///< set iff terminally failed
 
   JobState(std::string key_, std::shared_ptr<const SubstrateSolver> solver_, Layout layout_,
            SubstrateStack stack_, ExtractionRequest request_)

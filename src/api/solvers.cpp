@@ -1,18 +1,22 @@
 #include "subspar/solvers.hpp"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
+
+#include "util/sync.hpp"
 
 namespace subspar {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, SolverFactory> factories;
+  Mutex mutex;
+  std::map<std::string, SolverFactory> factories SUBSPAR_GUARDED_BY(mutex);
 
   Registry() {
+    // Static-init runs single-threaded under the magic-static guard, but
+    // factories is a guarded member and the uncontended lock is free.
+    const MutexLock lock(mutex);
     factories[solver_kind_name(SolverKind::kSurface)] =
         [](const Layout& l, const SubstrateStack& s, const SolverConfig& c) {
           return make_solver(SolverKind::kSurface, l, s, c);
@@ -70,7 +74,7 @@ std::unique_ptr<SubstrateSolver> make_solver(const std::string& name, const Layo
   SolverFactory factory;
   {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     const auto it = r.factories.find(name);
     if (it == r.factories.end()) {
       std::string known;
@@ -85,13 +89,13 @@ std::unique_ptr<SubstrateSolver> make_solver(const std::string& name, const Layo
 
 void register_solver(const std::string& name, SolverFactory factory) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   r.factories[name] = std::move(factory);
 }
 
 std::vector<std::string> registered_solvers() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [name, _] : r.factories) names.push_back(name);

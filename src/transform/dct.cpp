@@ -99,6 +99,8 @@ void DctPlan::dct3(double* x) const {
 }
 
 const DctPlan& dct_plan(std::size_t n) {
+  // Per-thread plan cache: thread_local IS the synchronization discipline
+  // (see fft.cpp); keep this module mutex-free per tools/subspar_lint.py.
   thread_local std::map<std::size_t, DctPlan> cache;
   auto it = cache.find(n);
   if (it == cache.end()) it = cache.emplace(n, DctPlan(n)).first;

@@ -13,6 +13,12 @@
 // Extractor::extract maps them to ErrorCode::kCancelled /
 // kDeadlineExceeded (subspar/status.hpp). Checks never perturb numerics:
 // a run that is not cancelled is bit-identical to one with no token at all.
+//
+// Static-analysis note: this module is deliberately lock-free — every shared
+// member is a std::atomic with acquire/release ordering, so there is no
+// capability to annotate (util/sync.hpp). Waiting on a token (service
+// backoff) pairs the atomic reads with a CondVar under the job mutex; the
+// notify side must hold that mutex — see ExtractionJob::cancel().
 #pragma once
 
 #include <atomic>

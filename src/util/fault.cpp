@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace subspar {
 namespace {
@@ -33,6 +34,7 @@ struct Config {
 
 Config parse_env() {
   Config cfg;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read under State::mutex only
   const char* env = std::getenv("SUBSPAR_FAULT");
   if (env == nullptr || *env == '\0') return cfg;
   // "<seed>[:<rate>[:<cooldown>[:<sites>]]]"; malformed fields keep their
@@ -69,13 +71,14 @@ Config parse_env() {
 }
 
 struct State {
-  std::mutex mutex;
-  bool loaded = false;
-  Config config;
-  FaultCounts counts;
-  std::uint64_t quiet_until[kFaultSiteCount] = {};  // cooldown horizon per site
+  Mutex mutex;
+  bool loaded SUBSPAR_GUARDED_BY(mutex) = false;
+  Config config SUBSPAR_GUARDED_BY(mutex);
+  FaultCounts counts SUBSPAR_GUARDED_BY(mutex);
+  // Cooldown horizon per site.
+  std::uint64_t quiet_until[kFaultSiteCount] SUBSPAR_GUARDED_BY(mutex) = {};
 
-  void ensure_loaded() {
+  void ensure_loaded() SUBSPAR_REQUIRES(mutex) {
     if (!loaded) {
       config = parse_env();
       loaded = true;
@@ -104,14 +107,14 @@ const char* fault_site_name(FaultSite site) {
 
 bool fault_injection_enabled() {
   State& st = state();
-  const std::lock_guard<std::mutex> lock(st.mutex);
+  const MutexLock lock(st.mutex);
   st.ensure_loaded();
   return st.config.enabled;
 }
 
 bool fault_fire(FaultSite site) {
   State& st = state();
-  const std::lock_guard<std::mutex> lock(st.mutex);
+  const MutexLock lock(st.mutex);
   st.ensure_loaded();
   const int i = static_cast<int>(site);
   const std::uint64_t n = ++st.counts.invocations[i];
@@ -137,19 +140,19 @@ std::uint64_t fault_corrupt_index(FaultSite site, std::uint64_t fired_index,
 
 FaultCounts fault_counts() {
   State& st = state();
-  const std::lock_guard<std::mutex> lock(st.mutex);
+  const MutexLock lock(st.mutex);
   return st.counts;
 }
 
 std::uint64_t fault_fired(FaultSite site) {
   State& st = state();
-  const std::lock_guard<std::mutex> lock(st.mutex);
+  const MutexLock lock(st.mutex);
   return st.counts.fired[static_cast<int>(site)];
 }
 
 void fault_reset() {
   State& st = state();
-  const std::lock_guard<std::mutex> lock(st.mutex);
+  const MutexLock lock(st.mutex);
   st.config = parse_env();
   st.loaded = true;
   st.counts = FaultCounts{};

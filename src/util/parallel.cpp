@@ -1,15 +1,14 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/sync.hpp"
 
 namespace subspar {
 namespace {
@@ -19,6 +18,9 @@ thread_local bool g_in_parallel = false;  // caller currently inside parallel_fo
 thread_local bool g_inline_scope = false;  // inside a ParallelInlineScope
 
 std::size_t env_thread_count() {
+  // Read once per pool construction, before any worker exists; the value is
+  // then immutable for the pool's lifetime.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single read at pool construction
   if (const char* env = std::getenv("SUBSPAR_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1) return static_cast<std::size_t>(v);
@@ -29,7 +31,9 @@ std::size_t env_thread_count() {
 
 // Persistent worker pool. One job at a time (parallel_for blocks), indices
 // handed out through an atomic counter, completion signalled back through a
-// countdown + condition variable.
+// countdown + condition variable. The in-flight job's descriptor (fn, n) is
+// published under mutex_ and handed to drain() by value, so workers never
+// read job state outside the lock.
 class Pool {
  public:
   explicit Pool(std::size_t threads) : threads_(threads) {
@@ -39,7 +43,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -48,7 +52,8 @@ class Pool {
 
   std::size_t threads() const { return threads_; }
 
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn)
+      SUBSPAR_EXCLUDES(run_mutex_, mutex_) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -58,10 +63,10 @@ class Pool {
     // worker threads outside any ParallelInlineScope) would otherwise
     // clobber the in-flight job_fn_/active_ state mid-job. The second
     // caller queues here until the first job fully drains.
-    const std::lock_guard<std::mutex> serialize(run_mutex_);
+    const MutexLock serialize(run_mutex_);
     std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       job_fn_ = &fn;
       job_n_ = n;
       next_.store(0, std::memory_order_relaxed);
@@ -69,10 +74,10 @@ class Pool {
       ++generation_;
     }
     wake_.notify_all();
-    drain(fn);  // the caller participates
+    drain(fn, n);  // the caller participates
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_.wait(lock, [this] { return active_ == 0; });
+      MutexUniqueLock lock(mutex_);
+      while (active_ != 0) done_.wait(lock);
       job_fn_ = nullptr;
       error = first_error_;
       first_error_ = nullptr;
@@ -81,35 +86,38 @@ class Pool {
   }
 
  private:
-  void drain(const std::function<void(std::size_t)>& fn) {
+  void drain(const std::function<void(std::size_t)>& fn, std::size_t n)
+      SUBSPAR_EXCLUDES(mutex_) {
     for (;;) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job_n_) return;
+      if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (!first_error_) first_error_ = std::current_exception();
-        next_.store(job_n_, std::memory_order_relaxed);  // cancel the rest
+        next_.store(n, std::memory_order_relaxed);  // cancel the rest
       }
     }
   }
 
-  void worker_loop() {
+  void worker_loop() SUBSPAR_EXCLUDES(mutex_) {
     g_in_worker = true;
     std::size_t seen = 0;
     for (;;) {
       const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t n = 0;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        MutexUniqueLock lock(mutex_);
+        while (!stop_ && generation_ == seen) wake_.wait(lock);
         if (stop_) return;
         seen = generation_;
         fn = job_fn_;
+        n = job_n_;
       }
-      if (fn) drain(*fn);
+      if (fn) drain(*fn, n);
       {
-        std::unique_lock<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (--active_ == 0) done_.notify_all();
       }
     }
@@ -117,35 +125,45 @@ class Pool {
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
-  std::mutex run_mutex_;  // serializes whole jobs across external callers
-  std::mutex mutex_;
-  std::condition_variable wake_, done_;
-  bool stop_ = false;
-  std::size_t generation_ = 0;
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_n_ = 0;
+  Mutex run_mutex_;  // serializes whole jobs across external callers
+  Mutex mutex_;
+  CondVar wake_, done_;
+  bool stop_ SUBSPAR_GUARDED_BY(mutex_) = false;
+  std::size_t generation_ SUBSPAR_GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::size_t)>* job_fn_ SUBSPAR_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_n_ SUBSPAR_GUARDED_BY(mutex_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;
-  std::exception_ptr first_error_;
+  std::size_t active_ SUBSPAR_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ SUBSPAR_GUARDED_BY(mutex_);
 };
 
-std::mutex g_pool_mutex;
-std::unique_ptr<Pool> g_pool;  // guarded by g_pool_mutex
+Mutex g_pool_mutex;
+// shared_ptr, not unique_ptr: callers take a reference-counted handle under
+// the lock and run their job on it outside the lock, so set_thread_count()
+// replacing the pool mid-job can no longer destroy (and join) a pool another
+// thread is still dispatching on — the old pool dies with its last user.
+std::shared_ptr<Pool> g_pool SUBSPAR_GUARDED_BY(g_pool_mutex);
 
-Pool& pool() {
-  std::unique_lock<std::mutex> lock(g_pool_mutex);
-  if (!g_pool) g_pool = std::make_unique<Pool>(env_thread_count());
-  return *g_pool;
+std::shared_ptr<Pool> pool() SUBSPAR_EXCLUDES(g_pool_mutex) {
+  const MutexLock lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_shared<Pool>(env_thread_count());
+  return g_pool;
 }
 
 }  // namespace
 
-std::size_t thread_count() { return pool().threads(); }
+std::size_t thread_count() { return pool()->threads(); }
 
 void set_thread_count(std::size_t n) {
   SUBSPAR_REQUIRE(n >= 1);
-  std::unique_lock<std::mutex> lock(g_pool_mutex);
-  g_pool = std::make_unique<Pool>(n);
+  std::shared_ptr<Pool> old;
+  {
+    const MutexLock lock(g_pool_mutex);
+    old.swap(g_pool);
+    g_pool = std::make_shared<Pool>(n);
+  }
+  // `old` (if last owner) is destroyed here, outside the lock: its
+  // destructor joins worker threads and must not block pool() callers.
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -161,7 +179,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   }
   g_in_parallel = true;
   try {
-    pool().run(n, fn);
+    pool()->run(n, fn);
   } catch (...) {
     g_in_parallel = false;
     throw;

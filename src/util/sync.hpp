@@ -1,0 +1,229 @@
+// Annotated synchronization primitives: the only place in the library that
+// may name a std:: mutex or lock type (enforced by tools/subspar_lint.py).
+//
+// Every wrapper carries Clang Thread Safety Analysis capability attributes,
+// so a clang build with -Wthread-safety proves at compile time that every
+// access to a SUBSPAR_GUARDED_BY member happens under its mutex, that
+// SUBSPAR_REQUIRES contracts hold at every call site, and that no lock is
+// leaked or double-acquired — before any test runs, on every interleaving.
+// Under GCC/MSVC the annotations compile to nothing and the wrappers are
+// zero-cost forwarding shims over the std primitives.
+//
+// Two analysis-shaped rules of use (see docs/ARCHITECTURE.md, "Static
+// analysis & invariants"):
+//  - Condition-variable predicates are written as explicit while-loops in
+//    the waiting function, never as lambdas passed to wait(): the analysis
+//    checks each lambda body as its own function, so a predicate lambda
+//    reading guarded state would need a suppression — the loop form needs
+//    none and is equally correct.
+//  - Constructors/destructors are not analyzed by Clang (documented
+//    limitation); hot-path invariants therefore never live only in a ctor.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (Clang Thread Safety Analysis; no-ops elsewhere)
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define SUBSPAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SUBSPAR_THREAD_ANNOTATION(x)  // not a thread-safety-analysis compiler
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define SUBSPAR_CAPABILITY(x) SUBSPAR_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type whose lifetime holds a capability.
+#define SUBSPAR_SCOPED_CAPABILITY SUBSPAR_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define SUBSPAR_GUARDED_BY(x) SUBSPAR_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by `x` (the pointer itself is not).
+#define SUBSPAR_PT_GUARDED_BY(x) SUBSPAR_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function precondition: caller holds the capability exclusively.
+#define SUBSPAR_REQUIRES(...) \
+  SUBSPAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function precondition: caller holds the capability at least shared.
+#define SUBSPAR_REQUIRES_SHARED(...) \
+  SUBSPAR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability exclusively (does not already hold it).
+#define SUBSPAR_ACQUIRE(...) \
+  SUBSPAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function acquires the capability shared.
+#define SUBSPAR_ACQUIRE_SHARED(...) \
+  SUBSPAR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (any mode for scoped types).
+#define SUBSPAR_RELEASE(...) \
+  SUBSPAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function releases a shared hold of the capability.
+#define SUBSPAR_RELEASE_SHARED(...) \
+  SUBSPAR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires exclusively iff it returns `result`.
+#define SUBSPAR_TRY_ACQUIRE(result, ...) \
+  SUBSPAR_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Function acquires shared iff it returns `result`.
+#define SUBSPAR_TRY_ACQUIRE_SHARED(result, ...) \
+  SUBSPAR_THREAD_ANNOTATION(try_acquire_shared_capability(result, __VA_ARGS__))
+/// Function must be called WITHOUT the capability held (deadlock guard).
+#define SUBSPAR_EXCLUDES(...) SUBSPAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define SUBSPAR_ASSERT_CAPABILITY(x) SUBSPAR_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define SUBSPAR_RETURN_CAPABILITY(x) SUBSPAR_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch; requires a written justification per the NOLINT policy.
+#define SUBSPAR_NO_THREAD_SAFETY_ANALYSIS \
+  SUBSPAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace subspar {
+
+// ---------------------------------------------------------------------------
+// Capability types
+// ---------------------------------------------------------------------------
+
+/// std::mutex as an annotated capability. Non-recursive, non-copyable.
+class SUBSPAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SUBSPAR_ACQUIRE() { m_.lock(); }
+  void unlock() SUBSPAR_RELEASE() { m_.unlock(); }
+  bool try_lock() SUBSPAR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Underlying handle — for CondVar only; never lock through it directly
+  /// (the analysis cannot see acquisitions made on the native handle).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex as an annotated capability: one writer or many readers.
+class SUBSPAR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SUBSPAR_ACQUIRE() { m_.lock(); }
+  void unlock() SUBSPAR_RELEASE() { m_.unlock(); }
+  bool try_lock() SUBSPAR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  void lock_shared() SUBSPAR_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() SUBSPAR_RELEASE_SHARED() { m_.unlock_shared(); }
+  bool try_lock_shared() SUBSPAR_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+// ---------------------------------------------------------------------------
+// Scoped locks
+// ---------------------------------------------------------------------------
+
+/// std::lock_guard equivalent over Mutex: exclusive for the full scope.
+class SUBSPAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SUBSPAR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SUBSPAR_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent over Mutex: exclusive for the full scope and
+/// waitable via CondVar. (No deferred/adopted modes: the analysis tracks a
+/// scoped capability as held for its whole lifetime, so conditional
+/// ownership would lie to it. Use Mutex::try_lock for opportunistic paths.)
+class SUBSPAR_SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+  explicit MutexUniqueLock(Mutex& mutex) SUBSPAR_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexUniqueLock() SUBSPAR_RELEASE() {}  // member unique_lock releases
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+  /// For CondVar only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Writer lock over SharedMutex: exclusive for the full scope.
+class SUBSPAR_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mutex) SUBSPAR_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~ExclusiveLock() SUBSPAR_RELEASE() { mutex_.unlock(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Reader lock over SharedMutex: shared for the full scope.
+class SUBSPAR_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) SUBSPAR_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedLock() SUBSPAR_RELEASE() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable
+// ---------------------------------------------------------------------------
+
+/// std::condition_variable over MutexUniqueLock. Waits take the lock object,
+/// so the analysis sees the mutex held across the wait (the internal
+/// release/reacquire is invisible to it — and irrelevant: guarded state is
+/// only ever read while the wait has the mutex). Predicates are deliberately
+/// NOT accepted; write the while-loop in the caller, where guarded reads are
+/// checked against the held capability (see file header).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexUniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(MutexUniqueLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.native(), tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexUniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.native(), d);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace subspar

@@ -1,0 +1,10 @@
+// Fixture: a well-formed public header — re-exports a module header and a
+// sibling public header, nothing from src/api/.
+#pragma once
+
+#include "subspar/status.hpp"
+#include "util/sync.hpp"
+
+namespace subspar {
+struct Tidy {};
+}  // namespace subspar

@@ -1,0 +1,23 @@
+// Fixture: a file that mentions every banned pattern in non-code positions
+// (comments, string literals) plus one real occurrence carrying an explicit
+// suppression. None of it may be reported — this pins the comment/string
+// stripping and the `subspar-lint: allow(...)` escape hatch.
+//
+// In a comment, std::mutex and rand() and -ffast-math are all fine.
+#include <string>
+
+#include "subspar/status.hpp"
+#include "util/sync.hpp"
+
+namespace subspar {
+
+const char* kDocs =
+    "never use std::mutex directly; never seed from time(nullptr)";
+
+// Suppression with a written reason, as docs/ARCHITECTURE.md requires:
+// interop with a C callback API that hands us its own lock type.
+using ExternalLock = std::mutex;  // subspar-lint: allow(naked-sync) - C interop shim
+
+std::string describe() { return kDocs; }
+
+}  // namespace subspar

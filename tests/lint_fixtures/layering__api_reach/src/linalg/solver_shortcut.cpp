@@ -1,0 +1,10 @@
+// Fixture: a lower-layer module reaching up into api/ internals. linalg sits
+// near the bottom of the stack (util -> linalg -> ... -> core -> api); an
+// include like this inverts the layering and creates a cycle risk.
+#include "api/service.hpp"
+
+namespace subspar {
+
+void peek_at_service() {}
+
+}  // namespace subspar

@@ -1,0 +1,11 @@
+// Fixture: a lower layer pulling the api-layer public surface in through the
+// installed headers instead of "api/..." — same inversion, different spelling.
+// Lower layers may include only subspar/status.hpp of the public surface.
+#include "subspar/service.hpp"
+#include "subspar/status.hpp"
+
+namespace subspar {
+
+void rbk_that_knows_about_jobs() {}
+
+}  // namespace subspar

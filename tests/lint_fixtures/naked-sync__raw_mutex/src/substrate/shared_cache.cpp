@@ -1,0 +1,18 @@
+// Fixture: a module growing its own synchronization instead of using the
+// annotated wrappers in util/sync.hpp. Every line below must trip naked-sync.
+#include <mutex>
+#include <shared_mutex>
+
+namespace subspar {
+
+struct SharedPlanCache {
+  std::mutex mutex;               // BAD: invisible to -Wthread-safety
+  std::shared_mutex table_mutex;  // BAD
+  std::condition_variable cv;     // BAD
+
+  void touch() {
+    std::lock_guard<std::mutex> lock(mutex);  // BAD (twice on this line)
+  }
+};
+
+}  // namespace subspar

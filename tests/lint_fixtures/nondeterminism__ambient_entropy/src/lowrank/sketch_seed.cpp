@@ -1,0 +1,17 @@
+// Fixture: every ambient-entropy / wall-clock seeding pattern the
+// nondeterminism rule bans. Extraction results are bit-reproducible by
+// contract; a sketch seeded from any of these would differ run to run.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace subspar {
+
+unsigned bad_seed_sources() {
+  std::random_device rd;               // BAD: ambient entropy
+  std::mt19937 gen(rd());              // BAD: use util/rng.hpp's seeded Rng
+  std::srand(static_cast<unsigned>(time(nullptr)));  // BAD: twice over
+  return static_cast<unsigned>(rand()) + gen();      // BAD: rand()
+}
+
+}  // namespace subspar

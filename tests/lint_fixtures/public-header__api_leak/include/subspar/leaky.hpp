@@ -1,0 +1,10 @@
+// Fixture: a public header reaching into src/api/ internals. The installed
+// include/subspar tree must be self-contained — consumers only get
+// include/ + the module headers, never src/api/.
+#pragma once
+
+#include "api/service.hpp"
+
+namespace subspar {
+struct Leaky {};
+}  // namespace subspar

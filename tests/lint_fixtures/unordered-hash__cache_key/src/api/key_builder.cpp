@@ -1,0 +1,21 @@
+// Fixture: an unordered container in a file that feeds the FNV-1a content
+// hash. Iteration order of std::unordered_map is implementation-defined, so
+// walking it into the hash would make cache keys differ across
+// processes/library versions while looking perfectly correct locally.
+#include <string>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace subspar {
+
+std::string bad_cache_key(const std::unordered_map<std::string, double>& opts) {
+  Fnv1a h;
+  for (const auto& [k, v] : opts) {  // BAD: unordered walk into the hash
+    h.update(k);
+    h.update(v);
+  }
+  return h.hex();
+}
+
+}  // namespace subspar

@@ -314,6 +314,39 @@ TEST_F(ServiceFaultEnv, ExhaustedRetryPolicyFailsTypedWithFullHistory) {
   EXPECT_TRUE(retry.wait().ok());
 }
 
+TEST_F(ServiceFaultEnv, CancelDuringRetryBackoffReleasesPromptly) {
+  // Regression for the lost-wakeup race fixed in the sync migration:
+  // ExtractionJob::cancel() used to flip the token and notify the job cv
+  // WITHOUT holding the job mutex, while backoff_wait checks the token and
+  // then parks under that mutex — a notify landing in between was lost and
+  // the worker slept out the full backoff. With a 60 s base backoff this
+  // test hangs (and times out) under the old code; with the notify taken
+  // under the job mutex the cancel releases the job within milliseconds.
+  // Cooldown 10: attempt 1 takes the injected fault and backs off; the
+  // post-cancel attempt skips injection so the token check classifies the
+  // interruption as kCancelled (injection precedes the token check).
+  arm("11:1:10:q");
+  const SubstrateStack stack = test_stack();
+  const Layout layout = test_layout();
+  ExtractionService service(
+      {.workers = 1, .retry = {.max_attempts = 3, .base_backoff_ms = 60000.0}});
+  ExtractionJob job = service.submit(fresh_solver(layout, stack), layout, stack,
+                                     test_request());
+  // First attempt recorded => the worker is entering (or inside) its backoff.
+  while (job.attempt_history().empty())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  job.cancel();
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(job.wait_for(20000.0)) << "cancel lost during backoff park";
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited_ms, 10000.0);  // far below the 60 s backoff
+  EXPECT_EQ(job.status(), JobStatus::kCancelled);
+  EXPECT_EQ(job.error().code, ErrorCode::kCancelled);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
 // -------------------------------------------------------- admission control
 
 TEST(Service, FullQueueShedsImmediatelyWithOverloaded) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the library sources using a compile database.
+
+Thin parallel driver so CI (and anyone with clang-tidy installed) gets the
+exact same gate: every translation unit under src/ is checked against the
+repo-root .clang-tidy with WarningsAsErrors — any finding fails the run.
+
+Usage:
+  tools/run_clang_tidy.py --build <build dir with compile_commands.json>
+                          [--clang-tidy clang-tidy-15] [-j N]
+
+Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CMakeLists does this
+by default) so <build>/compile_commands.json exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def tu_list(build_dir: Path, repo: Path) -> list[Path]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        raise SystemExit(
+            f"{db_path} not found: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    db = json.loads(db_path.read_text())
+    files = set()
+    for entry in db:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry["directory"]) / f
+        f = f.resolve()
+        try:
+            rel = f.relative_to(repo)
+        except ValueError:
+            continue
+        if rel.parts[0] == "src" and f.suffix == ".cpp":
+            files.add(f)
+    if not files:
+        raise SystemExit("no src/*.cpp entries in the compile database")
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", type=Path, required=True,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+                        help="clang-tidy executable (or $CLANG_TIDY)")
+    parser.add_argument("-j", type=int, default=os.cpu_count() or 2,
+                        help="parallel clang-tidy processes")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        raise SystemExit(f"'{args.clang_tidy}' not found on PATH "
+                         "(install clang-tidy or pass --clang-tidy)")
+
+    repo = Path(__file__).resolve().parent.parent
+    files = tu_list(args.build.resolve(), repo)
+    print(f"clang-tidy ({tidy}) over {len(files)} translation units, -j{args.j}")
+
+    def run_one(path: Path) -> tuple[Path, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build), "--quiet", str(path)],
+            capture_output=True, text=True)
+        # --quiet still prints a per-file suppression tally on stderr; only
+        # surface stderr when the TU actually failed.
+        out = proc.stdout + (proc.stderr if proc.returncode else "")
+        return path, proc.returncode, out
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.j) as pool:
+        for path, rc, out in pool.map(run_one, files):
+            rel = path.relative_to(repo)
+            if rc:
+                failed += 1
+                print(f"FAIL {rel}\n{out}")
+            else:
+                print(f"ok   {rel}")
+    if failed:
+        print(f"run_clang_tidy: {failed}/{len(files)} translation units FAILED")
+        return 1
+    print(f"run_clang_tidy: {len(files)} translation units clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
