@@ -5,6 +5,7 @@
 // points the benches probe.
 #pragma once
 
+#include "linalg/backend.hpp"
 #include "linalg/ic0.hpp"
 #include "linalg/iterative.hpp"
 #include "linalg/matrix.hpp"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/io.hpp"
+#include "linalg/backend.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/hash.hpp"
@@ -40,6 +41,10 @@ ExtractionReport hit_report(const SparsifiedModel& model, double lookup_seconds)
   report.q_sparsity = model.q_sparsity_factor();
   report.solve_reduction = model.solve_reduction_factor();
   report.from_cache = true;
+  // Provenance of this process's kernels, not of the cached model: the
+  // backend is not part of the cache key (it never changes results beyond
+  // solver tolerance), so a hit is valid under any backend.
+  report.backend = backend_name(active_backend());
   return report;
 }
 

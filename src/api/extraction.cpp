@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "linalg/backend.hpp"
 #include "linalg/robust.hpp"
 #include "lowrank/extract.hpp"
 #include "util/check.hpp"
@@ -113,6 +114,7 @@ ExtractionResult Extractor::extract_impl(const ExtractionRequest& request) const
   const CancelScope cancel_scope(request.cancel.get());
   cancellation_point("extract-start");
   ExtractionReport report;
+  report.backend = backend_name(active_backend());
   const long solves_before = solver_->solve_count();
   Timer total;
   Timer phase_timer;

@@ -1,0 +1,8 @@
+// AVX2 + FMA backend: same vector-extension kernel source as the other SIMD
+// TUs, lowered to 256-bit ymm + FMA by this file's -mavx2 -mfma flags (set
+// per-source in src/CMakeLists.txt). Only dispatched when CPUID reports
+// AVX2 and FMA.
+#define SUBSPAR_BK_NS avx2
+#define SUBSPAR_BK_KIND BackendKind::kAvx2
+#define SUBSPAR_BK_SCALAR 0
+#include "linalg/backend_kernels.inl"

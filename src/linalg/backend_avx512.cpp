@@ -1,0 +1,7 @@
+// AVX-512 backend: the 8-wide double kernels lower to single zmm registers
+// under this file's -mavx512f -mfma flags (set per-source in
+// src/CMakeLists.txt). Only dispatched when CPUID reports AVX-512F.
+#define SUBSPAR_BK_NS avx512
+#define SUBSPAR_BK_KIND BackendKind::kAvx512
+#define SUBSPAR_BK_SCALAR 0
+#include "linalg/backend_kernels.inl"

@@ -1,0 +1,558 @@
+// Shared kernel source for the per-ISA backend translation units.
+//
+// Each backend_<isa>.cpp sets three macros and includes this file:
+//   SUBSPAR_BK_NS      unique namespace (scalar / avx2 / avx512 / neon), so
+//                      the multiple instantiations can never collide (ODR)
+//   SUBSPAR_BK_KIND    the BackendKind enumerator this TU implements
+//   SUBSPAR_BK_SCALAR  1 for the scalar reference TU: selects the original
+//                      pre-backend loops verbatim (the bit-exact golden-pin
+//                      path), 0 for SIMD TUs (vector-extension kernels)
+//
+// The SIMD kernels are written once against the portable GCC/Clang vector
+// extension at a fixed 8-lane double width; the per-TU -mavx2/-mavx512f/
+// NEON flags decide how the compiler lowers them (2 x ymm, 1 x zmm, or
+// 4 x q-registers). Every kernel keeps ascending inner-index accumulation
+// order per output element, and every kernel with a scalar tail also keeps
+// multiply-then-add rounding (fusing is suppressed, see SUBSPAR_BK_MUL), so
+// on targets whose baseline ISA cannot fuse (x86-64) the tailed fp64
+// kernels — SpMM, dot, DCT twiddles — are bit-identical across ALL
+// backends: lane position, tail handling, and vector width never change a
+// result bit. GEMM alone may contract (see gemm_f64): its packed tile is
+// position-uniform, so fusing shifts results at most a ulp from the scalar
+// backend without ever making one element round differently from another.
+//
+// Everything except ops() has internal linkage (anonymous namespace inside
+// the per-TU namespace); ops() is the single externally visible symbol.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "linalg/backend.hpp"
+
+#if !SUBSPAR_BK_SCALAR && (defined(__GNUC__) || defined(__clang__))
+#define SUBSPAR_BK_VEC 1
+#else
+#define SUBSPAR_BK_VEC 0
+#endif
+
+// A product that feeds an add, with FMA contraction suppressed in the x86
+// SIMD TUs. Those TUs already build with -ffp-contract=off, but GCC before
+// 14 fuses autovectorized loops (the kernels' scalar tails) despite the
+// flag, so the -mfma TUs would silently drift a ulp away from the scalar
+// reference at tail positions — breaking the batched-vs-single and
+// cross-backend bit-identity contracts. __builtin_assoc_barrier closes
+// that hole per expression; Clang lacks the builtin but honors the flag.
+// The scalar TU keeps the plain expressions — its baseline ISA decides,
+// exactly as before the backend layer existed — and so does the NEON TU,
+// because aarch64's baseline HAS fused multiply-add: there, matching the
+// scalar reference means contracting alike, not blocking it.
+#if SUBSPAR_BK_VEC && defined(__GNUC__) && !defined(__clang__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define SUBSPAR_BK_MUL(a, b) __builtin_assoc_barrier((a) * (b))
+#else
+#define SUBSPAR_BK_MUL(a, b) ((a) * (b))
+#endif
+
+// The inverse knob, for the GEMM micro-kernels only: re-enable contraction
+// under the TU's -ffp-contract=off (GCC: per-function optimize attribute;
+// Clang: fp-contract pragma at the top of the body). GEMM's packed tile
+// has no scalar tail, so fusing rounds every output element the same way —
+// at most a uniform ulp from the scalar backend, inside the 4-ulp parity
+// contract, never a batched-vs-single break — and is worth ~2x on this
+// compute-bound path. Both expand empty in the scalar TU (baseline flags,
+// legacy code verbatim) and the NEON TU (default contraction already on).
+#if SUBSPAR_BK_VEC && defined(__GNUC__) && !defined(__clang__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define SUBSPAR_BK_GEMM_CONTRACT __attribute__((optimize("fp-contract=fast")))
+#define SUBSPAR_BK_GEMM_CONTRACT_PRAGMA
+#elif SUBSPAR_BK_VEC && defined(__clang__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define SUBSPAR_BK_GEMM_CONTRACT
+#define SUBSPAR_BK_GEMM_CONTRACT_PRAGMA _Pragma("clang fp contract(fast)")
+#else
+#define SUBSPAR_BK_GEMM_CONTRACT
+#define SUBSPAR_BK_GEMM_CONTRACT_PRAGMA
+#endif
+
+namespace subspar {
+namespace backend_detail {
+namespace SUBSPAR_BK_NS {
+namespace {
+
+constexpr std::size_t MR = 4;   // GEMM register tile rows (dense_kernels.cpp)
+constexpr std::size_t NR = 16;  // GEMM register tile cols
+
+#if defined(__GNUC__) || defined(__clang__)
+using Vec8d __attribute__((vector_size(8 * sizeof(double)))) = double;
+using Vec4d __attribute__((vector_size(4 * sizeof(double)))) = double;
+#if SUBSPAR_BK_VEC
+using Vec8f __attribute__((vector_size(8 * sizeof(float)))) = float;
+#endif
+
+// The original dense_kernels.cpp micro-kernel, unchanged: two 8-wide vector
+// accumulators per tile row, ascending-k. In the scalar TU this compiles at
+// the build's baseline flags and therefore IS the pre-backend kernel bit
+// for bit; the SIMD TUs lower it wider and fuse the multiply-adds
+// (SUBSPAR_BK_GEMM_CONTRACT above — position-uniform, so at most a uniform
+// ulp from the scalar backend).
+SUBSPAR_BK_GEMM_CONTRACT
+void gemm_f64(const double* __restrict ap, const double* __restrict bp, std::size_t k,
+              double* __restrict acc) {
+  SUBSPAR_BK_GEMM_CONTRACT_PRAGMA
+  Vec8d a00{}, a01{}, a10{}, a11{}, a20{}, a21{}, a30{}, a31{};
+  for (std::size_t l = 0; l < k; ++l) {
+    Vec8d b0, b1;
+    std::memcpy(&b0, bp + l * NR, sizeof b0);
+    std::memcpy(&b1, bp + l * NR + 8, sizeof b1);
+    const double* ar = ap + l * MR;
+    a00 += ar[0] * b0;
+    a01 += ar[0] * b1;
+    a10 += ar[1] * b0;
+    a11 += ar[1] * b1;
+    a20 += ar[2] * b0;
+    a21 += ar[2] * b1;
+    a30 += ar[3] * b0;
+    a31 += ar[3] * b1;
+  }
+  std::memcpy(acc + 0 * NR, &a00, sizeof a00);
+  std::memcpy(acc + 0 * NR + 8, &a01, sizeof a01);
+  std::memcpy(acc + 1 * NR, &a10, sizeof a10);
+  std::memcpy(acc + 1 * NR + 8, &a11, sizeof a11);
+  std::memcpy(acc + 2 * NR, &a20, sizeof a20);
+  std::memcpy(acc + 2 * NR + 8, &a21, sizeof a21);
+  std::memcpy(acc + 3 * NR, &a30, sizeof a30);
+  std::memcpy(acc + 3 * NR + 8, &a31, sizeof a31);
+}
+
+// Mixed micro-kernel: fp32-packed strips (half the packed bytes streamed
+// per k step), widened lane-wise to fp64 before the multiply-accumulate.
+SUBSPAR_BK_GEMM_CONTRACT
+void gemm_f32(const float* __restrict ap, const float* __restrict bp, std::size_t k,
+              double* __restrict acc) {
+  SUBSPAR_BK_GEMM_CONTRACT_PRAGMA
+  Vec8d a00{}, a01{}, a10{}, a11{}, a20{}, a21{}, a30{}, a31{};
+  for (std::size_t l = 0; l < k; ++l) {
+#if SUBSPAR_BK_VEC
+    Vec8f bf0, bf1;
+    std::memcpy(&bf0, bp + l * NR, sizeof bf0);
+    std::memcpy(&bf1, bp + l * NR + 8, sizeof bf1);
+    const Vec8d b0 = __builtin_convertvector(bf0, Vec8d);
+    const Vec8d b1 = __builtin_convertvector(bf1, Vec8d);
+#else
+    Vec8d b0, b1;
+    for (std::size_t c = 0; c < 8; ++c) {
+      b0[c] = static_cast<double>(bp[l * NR + c]);
+      b1[c] = static_cast<double>(bp[l * NR + 8 + c]);
+    }
+#endif
+    const float* ar = ap + l * MR;
+    const double a0 = static_cast<double>(ar[0]);
+    const double a1 = static_cast<double>(ar[1]);
+    const double a2 = static_cast<double>(ar[2]);
+    const double a3 = static_cast<double>(ar[3]);
+    a00 += a0 * b0;
+    a01 += a0 * b1;
+    a10 += a1 * b0;
+    a11 += a1 * b1;
+    a20 += a2 * b0;
+    a21 += a2 * b1;
+    a30 += a3 * b0;
+    a31 += a3 * b1;
+  }
+  std::memcpy(acc + 0 * NR, &a00, sizeof a00);
+  std::memcpy(acc + 0 * NR + 8, &a01, sizeof a01);
+  std::memcpy(acc + 1 * NR, &a10, sizeof a10);
+  std::memcpy(acc + 1 * NR + 8, &a11, sizeof a11);
+  std::memcpy(acc + 2 * NR, &a20, sizeof a20);
+  std::memcpy(acc + 2 * NR + 8, &a21, sizeof a21);
+  std::memcpy(acc + 3 * NR, &a30, sizeof a30);
+  std::memcpy(acc + 3 * NR + 8, &a31, sizeof a31);
+}
+#else
+// Non-GNU fallback (portable scalar loops; only the scalar TU is built).
+void gemm_f64(const double* ap, const double* bp, std::size_t k, double* acc) {
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t c = 0; c < NR; ++c) acc[r * NR + c] = 0.0;
+  for (std::size_t l = 0; l < k; ++l) {
+    const double* ar = ap + l * MR;
+    const double* br = bp + l * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double av = ar[r];
+      for (std::size_t c = 0; c < NR; ++c) acc[r * NR + c] += av * br[c];
+    }
+  }
+}
+
+void gemm_f32(const float* ap, const float* bp, std::size_t k, double* acc) {
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t c = 0; c < NR; ++c) acc[r * NR + c] = 0.0;
+  for (std::size_t l = 0; l < k; ++l) {
+    const float* ar = ap + l * MR;
+    const float* br = bp + l * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double av = static_cast<double>(ar[r]);
+      for (std::size_t c = 0; c < NR; ++c)
+        acc[r * NR + c] += av * static_cast<double>(br[c]);
+    }
+  }
+}
+#endif
+
+#if SUBSPAR_BK_VEC
+// SpMM row kernel, vectorized across right-hand-side columns: for each
+// 8/4-wide column block the entry loop runs once with a vector accumulator,
+// so the k * nnz scalar FMAs of the reference become (k/8) * nnz vector
+// FMAs. Per output element the accumulation is still ascending-e.
+void spmm_row_f64(const double* __restrict vals, const std::size_t* __restrict cols,
+                  std::size_t nnz, const double* __restrict x, std::size_t ldx,
+                  double* __restrict yrow, std::size_t k) {
+  std::size_t j = 0;
+  for (; j + 8 <= k; j += 8) {
+    Vec8d acc{};
+    for (std::size_t e = 0; e < nnz; ++e) {
+      Vec8d xv;
+      std::memcpy(&xv, x + cols[e] * ldx + j, sizeof xv);
+      acc += SUBSPAR_BK_MUL(vals[e], xv);
+    }
+    std::memcpy(yrow + j, &acc, sizeof acc);
+  }
+  for (; j + 4 <= k; j += 4) {
+    Vec4d acc{};
+    for (std::size_t e = 0; e < nnz; ++e) {
+      Vec4d xv;
+      std::memcpy(&xv, x + cols[e] * ldx + j, sizeof xv);
+      acc += SUBSPAR_BK_MUL(vals[e], xv);
+    }
+    std::memcpy(yrow + j, &acc, sizeof acc);
+  }
+  for (; j < k; ++j) {
+    double s = 0.0;
+    for (std::size_t e = 0; e < nnz; ++e)
+      s += SUBSPAR_BK_MUL(vals[e], x[cols[e] * ldx + j]);
+    yrow[j] = s;
+  }
+}
+
+void spmm_row_f32(const float* __restrict vals, const std::uint32_t* __restrict cols,
+                  std::size_t nnz, const double* __restrict x, std::size_t ldx,
+                  double* __restrict yrow, std::size_t k) {
+  std::size_t j = 0;
+  for (; j + 8 <= k; j += 8) {
+    Vec8d acc{};
+    for (std::size_t e = 0; e < nnz; ++e) {
+      Vec8d xv;
+      std::memcpy(&xv, x + cols[e] * ldx + j, sizeof xv);
+      acc += SUBSPAR_BK_MUL(static_cast<double>(vals[e]), xv);
+    }
+    std::memcpy(yrow + j, &acc, sizeof acc);
+  }
+  for (; j + 4 <= k; j += 4) {
+    Vec4d acc{};
+    for (std::size_t e = 0; e < nnz; ++e) {
+      Vec4d xv;
+      std::memcpy(&xv, x + cols[e] * ldx + j, sizeof xv);
+      acc += SUBSPAR_BK_MUL(static_cast<double>(vals[e]), xv);
+    }
+    std::memcpy(yrow + j, &acc, sizeof acc);
+  }
+  for (; j < k; ++j) {
+    double s = 0.0;
+    for (std::size_t e = 0; e < nnz; ++e)
+      s += SUBSPAR_BK_MUL(static_cast<double>(vals[e]), x[cols[e] * ldx + j]);
+    yrow[j] = s;
+  }
+}
+
+// Transpose-apply scatter. The scalar reference skips xrow[j] == 0.0 terms;
+// the vector kernel adds them (v * 0.0 contributions), which can only flip
+// a signed zero — within every backend-parity tolerance.
+void spmm_t_row_f64(const double* __restrict vals, const std::size_t* __restrict cols,
+                    std::size_t nnz, const double* __restrict xrow, std::size_t j0,
+                    std::size_t j1, double* __restrict y, std::size_t ldy) {
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const double v = vals[e];
+    double* yrow = y + cols[e] * ldy;
+    std::size_t j = j0;
+    for (; j + 4 <= j1; j += 4) {
+      Vec4d xv, yv;
+      std::memcpy(&xv, xrow + j, sizeof xv);
+      std::memcpy(&yv, yrow + j, sizeof yv);
+      yv += SUBSPAR_BK_MUL(v, xv);
+      std::memcpy(yrow + j, &yv, sizeof yv);
+    }
+    for (; j < j1; ++j) yrow[j] += SUBSPAR_BK_MUL(v, xrow[j]);
+  }
+}
+
+// Horizontal sum in fixed lane order (deterministic for a given backend).
+// By reference: a by-value 512-bit vector argument would change ABI (and
+// warn under -Wpsabi) in the TUs compiled without -mavx512f.
+inline double hsum(const Vec8d& v) {
+  return ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
+}
+
+double dot_f64(const double* __restrict a, const double* __restrict b, std::size_t n) {
+  Vec8d acc{};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    Vec8d av, bv;
+    std::memcpy(&av, a + i, sizeof av);
+    std::memcpy(&bv, b + i, sizeof bv);
+    acc += SUBSPAR_BK_MUL(av, bv);
+  }
+  double s = hsum(acc);
+  for (; i < n; ++i) s += SUBSPAR_BK_MUL(a[i], b[i]);
+  return s;
+}
+
+double dot_f32(const float* __restrict a, const double* __restrict b, std::size_t n) {
+  Vec8d acc{};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    Vec8f af;
+    Vec8d bv;
+    std::memcpy(&af, a + i, sizeof af);
+    std::memcpy(&bv, b + i, sizeof bv);
+    acc += SUBSPAR_BK_MUL(__builtin_convertvector(af, Vec8d), bv);
+  }
+  double s = hsum(acc);
+  for (; i < n; ++i) s += SUBSPAR_BK_MUL(static_cast<double>(a[i]), b[i]);
+  return s;
+}
+
+// DCT-II post-twiddle: deinterleave 8 complex values into (re, im) lane
+// vectors with one shuffle each, then one fused twiddle/scale expression.
+void dct2_post_f64(const double* __restrict tc, const double* __restrict ts,
+                   const double* __restrict v, double* __restrict x, std::size_t n,
+                   double s0, double sk) {
+  x[0] = v[0] * s0;
+  std::size_t j = 1;
+  for (; j + 8 <= n; j += 8) {
+    Vec8d v0, v1, c, s;
+    std::memcpy(&v0, v + 2 * j, sizeof v0);
+    std::memcpy(&v1, v + 2 * j + 8, sizeof v1);
+    std::memcpy(&c, tc + j, sizeof c);
+    std::memcpy(&s, ts + j, sizeof s);
+    const Vec8d re = __builtin_shufflevector(v0, v1, 0, 2, 4, 6, 8, 10, 12, 14);
+    const Vec8d im = __builtin_shufflevector(v0, v1, 1, 3, 5, 7, 9, 11, 13, 15);
+    const Vec8d out = (SUBSPAR_BK_MUL(c, re) - SUBSPAR_BK_MUL(s, im)) * sk;
+    std::memcpy(x + j, &out, sizeof out);
+  }
+  for (; j < n; ++j)
+    x[j] = (SUBSPAR_BK_MUL(tc[j], v[2 * j]) - SUBSPAR_BK_MUL(ts[j], v[2 * j + 1])) * sk;
+}
+
+void dct2_post_f32(const float* __restrict tc, const float* __restrict ts,
+                   const double* __restrict v, double* __restrict x, std::size_t n,
+                   double s0, double sk) {
+  x[0] = v[0] * s0;
+  std::size_t j = 1;
+  for (; j + 8 <= n; j += 8) {
+    Vec8d v0, v1;
+    Vec8f cf, sf;
+    std::memcpy(&v0, v + 2 * j, sizeof v0);
+    std::memcpy(&v1, v + 2 * j + 8, sizeof v1);
+    std::memcpy(&cf, tc + j, sizeof cf);
+    std::memcpy(&sf, ts + j, sizeof sf);
+    const Vec8d c = __builtin_convertvector(cf, Vec8d);
+    const Vec8d s = __builtin_convertvector(sf, Vec8d);
+    const Vec8d re = __builtin_shufflevector(v0, v1, 0, 2, 4, 6, 8, 10, 12, 14);
+    const Vec8d im = __builtin_shufflevector(v0, v1, 1, 3, 5, 7, 9, 11, 13, 15);
+    const Vec8d out = (SUBSPAR_BK_MUL(c, re) - SUBSPAR_BK_MUL(s, im)) * sk;
+    std::memcpy(x + j, &out, sizeof out);
+  }
+  for (; j < n; ++j)
+    x[j] = (SUBSPAR_BK_MUL(static_cast<double>(tc[j]), v[2 * j]) -
+            SUBSPAR_BK_MUL(static_cast<double>(ts[j]), v[2 * j + 1])) *
+           sk;
+}
+
+// DCT-III pre-twiddle: forward load of x[k..k+7], reversed load of the
+// mirrored block x[n-k-7..n-k], then interleave (re, im) back into v.
+void dct3_pre_f64(const double* __restrict tc, const double* __restrict ts,
+                  const double* __restrict x, double* __restrict v, std::size_t n,
+                  double s0, double sk) {
+  v[0] = x[0] / s0;
+  v[1] = 0.0;
+  std::size_t j = 1;
+  for (; j + 8 <= n; j += 8) {
+    Vec8d xk, xr, c, s;
+    std::memcpy(&xk, x + j, sizeof xk);
+    std::memcpy(&xr, x + (n - j - 7), sizeof xr);
+    std::memcpy(&c, tc + j, sizeof c);
+    std::memcpy(&s, ts + j, sizeof s);
+    s = -s;
+    // Divide like the scalar reference (not * (1/sk)): the extra latency
+    // hides behind the loads, and matching its rounding keeps the fast
+    // DCT-III bit-identical across backends.
+    const Vec8d ck = xk / sk;
+    const Vec8d cnk = __builtin_shufflevector(xr, xr, 7, 6, 5, 4, 3, 2, 1, 0) / sk;
+    const Vec8d re = SUBSPAR_BK_MUL(c, ck) + SUBSPAR_BK_MUL(s, cnk);
+    const Vec8d im = SUBSPAR_BK_MUL(s, ck) - SUBSPAR_BK_MUL(c, cnk);
+    const Vec8d lo = __builtin_shufflevector(re, im, 0, 8, 1, 9, 2, 10, 3, 11);
+    const Vec8d hi = __builtin_shufflevector(re, im, 4, 12, 5, 13, 6, 14, 7, 15);
+    std::memcpy(v + 2 * j, &lo, sizeof lo);
+    std::memcpy(v + 2 * j + 8, &hi, sizeof hi);
+  }
+  for (; j < n; ++j) {
+    const double ck = x[j] / sk;
+    const double cnk = x[n - j] / sk;
+    const double c = tc[j], s = -ts[j];
+    v[2 * j] = SUBSPAR_BK_MUL(c, ck) + SUBSPAR_BK_MUL(s, cnk);
+    v[2 * j + 1] = SUBSPAR_BK_MUL(s, ck) - SUBSPAR_BK_MUL(c, cnk);
+  }
+}
+
+void dct3_pre_f32(const float* __restrict tc, const float* __restrict ts,
+                  const double* __restrict x, double* __restrict v, std::size_t n,
+                  double s0, double sk) {
+  v[0] = x[0] / s0;
+  v[1] = 0.0;
+  std::size_t j = 1;
+  for (; j + 8 <= n; j += 8) {
+    Vec8d xk, xr;
+    Vec8f cf, sf;
+    std::memcpy(&xk, x + j, sizeof xk);
+    std::memcpy(&xr, x + (n - j - 7), sizeof xr);
+    std::memcpy(&cf, tc + j, sizeof cf);
+    std::memcpy(&sf, ts + j, sizeof sf);
+    const Vec8d c = __builtin_convertvector(cf, Vec8d);
+    const Vec8d s = -__builtin_convertvector(sf, Vec8d);
+    const Vec8d ck = xk / sk;
+    const Vec8d cnk = __builtin_shufflevector(xr, xr, 7, 6, 5, 4, 3, 2, 1, 0) / sk;
+    const Vec8d re = SUBSPAR_BK_MUL(c, ck) + SUBSPAR_BK_MUL(s, cnk);
+    const Vec8d im = SUBSPAR_BK_MUL(s, ck) - SUBSPAR_BK_MUL(c, cnk);
+    const Vec8d lo = __builtin_shufflevector(re, im, 0, 8, 1, 9, 2, 10, 3, 11);
+    const Vec8d hi = __builtin_shufflevector(re, im, 4, 12, 5, 13, 6, 14, 7, 15);
+    std::memcpy(v + 2 * j, &lo, sizeof lo);
+    std::memcpy(v + 2 * j + 8, &hi, sizeof hi);
+  }
+  for (; j < n; ++j) {
+    const double ck = x[j] / sk;
+    const double cnk = x[n - j] / sk;
+    const double c = static_cast<double>(tc[j]), s = -static_cast<double>(ts[j]);
+    v[2 * j] = SUBSPAR_BK_MUL(c, ck) + SUBSPAR_BK_MUL(s, cnk);
+    v[2 * j + 1] = SUBSPAR_BK_MUL(s, ck) - SUBSPAR_BK_MUL(c, cnk);
+  }
+}
+
+#else  // !SUBSPAR_BK_VEC — the scalar reference TU: pre-backend loops verbatim.
+
+// The original sparse.cpp apply_many inner loops: j outer, ascending-e
+// inner, one scalar accumulator per output element.
+void spmm_row_f64(const double* vals, const std::size_t* cols, std::size_t nnz,
+                  const double* x, std::size_t ldx, double* yrow, std::size_t k) {
+  for (std::size_t j = 0; j < k; ++j) {
+    double s = 0.0;
+    for (std::size_t e = 0; e < nnz; ++e) s += vals[e] * x[cols[e] * ldx + j];
+    yrow[j] = s;
+  }
+}
+
+void spmm_row_f32(const float* vals, const std::uint32_t* cols, std::size_t nnz,
+                  const double* x, std::size_t ldx, double* yrow, std::size_t k) {
+  for (std::size_t j = 0; j < k; ++j) {
+    double s = 0.0;
+    for (std::size_t e = 0; e < nnz; ++e)
+      s += static_cast<double>(vals[e]) * x[cols[e] * ldx + j];
+    yrow[j] = s;
+  }
+}
+
+// The original apply_t_many scatter, including its xrow[j] == 0.0 skip.
+void spmm_t_row_f64(const double* vals, const std::size_t* cols, std::size_t nnz,
+                    const double* xrow, std::size_t j0, std::size_t j1, double* y,
+                    std::size_t ldy) {
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const double v = vals[e];
+    double* yrow = y + cols[e] * ldy;
+    for (std::size_t j = j0; j < j1; ++j)
+      if (xrow[j] != 0.0) yrow[j] += v * xrow[j];
+  }
+}
+
+double dot_f64(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double dot_f32(const float* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+// The original dct.cpp fast-path twiddle loops.
+void dct2_post_f64(const double* tc, const double* ts, const double* v, double* x,
+                   std::size_t n, double s0, double sk) {
+  x[0] = v[0] * s0;
+  for (std::size_t j = 1; j < n; ++j)
+    x[j] = (tc[j] * v[2 * j] - ts[j] * v[2 * j + 1]) * sk;
+}
+
+void dct2_post_f32(const float* tc, const float* ts, const double* v, double* x,
+                   std::size_t n, double s0, double sk) {
+  x[0] = v[0] * s0;
+  for (std::size_t j = 1; j < n; ++j)
+    x[j] = (static_cast<double>(tc[j]) * v[2 * j] -
+            static_cast<double>(ts[j]) * v[2 * j + 1]) *
+           sk;
+}
+
+void dct3_pre_f64(const double* tc, const double* ts, const double* x, double* v,
+                  std::size_t n, double s0, double sk) {
+  v[0] = x[0] / s0;
+  v[1] = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const double ck = x[j] / sk;
+    const double cnk = x[n - j] / sk;
+    const double c = tc[j], s = -ts[j];
+    v[2 * j] = c * ck + s * cnk;
+    v[2 * j + 1] = s * ck - c * cnk;
+  }
+}
+
+void dct3_pre_f32(const float* tc, const float* ts, const double* x, double* v,
+                  std::size_t n, double s0, double sk) {
+  v[0] = x[0] / s0;
+  v[1] = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const double ck = x[j] / sk;
+    const double cnk = x[n - j] / sk;
+    const double c = static_cast<double>(tc[j]), s = -static_cast<double>(ts[j]);
+    v[2 * j] = c * ck + s * cnk;
+    v[2 * j + 1] = s * ck - c * cnk;
+  }
+}
+
+#endif  // SUBSPAR_BK_VEC
+
+constexpr KernelOps kOps = {
+    SUBSPAR_BK_KIND,
+    &gemm_f64,
+    &gemm_f32,
+    &spmm_row_f64,
+    &spmm_row_f32,
+    &spmm_t_row_f64,
+    &dot_f64,
+    &dot_f32,
+    &dct2_post_f64,
+    &dct3_pre_f64,
+    &dct2_post_f32,
+    &dct3_pre_f32,
+};
+
+}  // namespace
+
+const KernelOps& ops() { return kOps; }
+
+}  // namespace SUBSPAR_BK_NS
+}  // namespace backend_detail
+}  // namespace subspar
+
+#undef SUBSPAR_BK_GEMM_CONTRACT_PRAGMA
+#undef SUBSPAR_BK_GEMM_CONTRACT
+#undef SUBSPAR_BK_MUL
+#undef SUBSPAR_BK_VEC

@@ -1,0 +1,8 @@
+// NEON backend (aarch64): NEON is baseline on AArch64, so no extra target
+// flags are needed — the 8-wide vector-extension kernels lower to pairs of
+// 128-bit q-register operations. Compiled only on ARM targets (see
+// src/CMakeLists.txt).
+#define SUBSPAR_BK_NS neon
+#define SUBSPAR_BK_KIND BackendKind::kNeon
+#define SUBSPAR_BK_SCALAR 0
+#include "linalg/backend_kernels.inl"

@@ -1,0 +1,7 @@
+// Scalar reference backend: the pre-backend kernel loops compiled at the
+// build's baseline flags — the bit-exact deterministic path behind the
+// golden pins and SUBSPAR_BACKEND=scalar.
+#define SUBSPAR_BK_NS scalar
+#define SUBSPAR_BK_KIND BackendKind::kScalar
+#define SUBSPAR_BK_SCALAR 1
+#include "linalg/backend_kernels.inl"

@@ -19,11 +19,17 @@
 // Products too small to amortize packing fall through to the naive
 // streaming loops (the dispatch depends only on shapes, never on the
 // thread count, so determinism is unaffected).
+// The MR x NR register block itself lives in the runtime-dispatched kernel
+// backend (linalg/backend.hpp): this file owns packing, tiling, and
+// dispatch; KernelOps::gemm_f64 / gemm_f32 own the inner loop. The fp32
+// variant packs the strips in single precision (mixed mode: half the bytes
+// streamed per k step) while the accumulators stay fp64.
 #include <algorithm>
 #include <cstddef>
-#include <cstring>
+#include <type_traits>
 #include <vector>
 
+#include "linalg/backend.hpp"
 #include "linalg/matrix.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -49,59 +55,7 @@ inline double read_b(const Matrix& b, Op op, std::size_t l, std::size_t j) {
   return op == Op::NT ? b(j, l) : b(l, j);
 }
 
-// acc[MR][NR] = (packed A strip) (packed B strip) over the full depth k.
-// The MR x NR accumulator block stays in registers for the whole k loop;
-// each output element accumulates in ascending-k order (the lane order of a
-// vector accumulator equals the scalar loop order, so the choice of kernel
-// below never affects the thread-count determinism contract).
-#if defined(__GNUC__) || defined(__clang__)
-// Two 8-wide vector accumulators per tile row, via the portable GCC/Clang
-// vector extension — explicit registers instead of hoping the
-// auto-vectorizer keeps a 4 x 16 array out of memory (it often does not).
-using Vec8 __attribute__((vector_size(8 * sizeof(double)))) = double;
-static_assert(MR == 4 && NR == 16, "micro_kernel is written for a 4 x 16 tile");
-
-void micro_kernel(const double* __restrict ap, const double* __restrict bp, std::size_t k,
-                  double acc[MR][NR]) {
-  Vec8 a00{}, a01{}, a10{}, a11{}, a20{}, a21{}, a30{}, a31{};
-  for (std::size_t l = 0; l < k; ++l) {
-    Vec8 b0, b1;
-    std::memcpy(&b0, bp + l * NR, sizeof b0);
-    std::memcpy(&b1, bp + l * NR + 8, sizeof b1);
-    const double* ar = ap + l * MR;
-    a00 += ar[0] * b0;
-    a01 += ar[0] * b1;
-    a10 += ar[1] * b0;
-    a11 += ar[1] * b1;
-    a20 += ar[2] * b0;
-    a21 += ar[2] * b1;
-    a30 += ar[3] * b0;
-    a31 += ar[3] * b1;
-  }
-  std::memcpy(acc[0], &a00, sizeof a00);
-  std::memcpy(acc[0] + 8, &a01, sizeof a01);
-  std::memcpy(acc[1], &a10, sizeof a10);
-  std::memcpy(acc[1] + 8, &a11, sizeof a11);
-  std::memcpy(acc[2], &a20, sizeof a20);
-  std::memcpy(acc[2] + 8, &a21, sizeof a21);
-  std::memcpy(acc[3], &a30, sizeof a30);
-  std::memcpy(acc[3] + 8, &a31, sizeof a31);
-}
-#else
-void micro_kernel(const double* __restrict ap, const double* __restrict bp, std::size_t k,
-                  double acc[MR][NR]) {
-  for (std::size_t r = 0; r < MR; ++r)
-    for (std::size_t c = 0; c < NR; ++c) acc[r][c] = 0.0;
-  for (std::size_t l = 0; l < k; ++l) {
-    const double* ar = ap + l * MR;
-    const double* br = bp + l * NR;
-    for (std::size_t r = 0; r < MR; ++r) {
-      const double av = ar[r];
-      for (std::size_t c = 0; c < NR; ++c) acc[r][c] += av * br[c];
-    }
-  }
-}
-#endif
+static_assert(MR == 4 && NR == 16, "KernelOps::gemm_* implements a 4 x 16 tile");
 
 // Naive fallback for small products: streaming accumulation straight into C
 // (no packing, no temporaries).
@@ -148,62 +102,73 @@ void gemm_naive(Matrix& c, const Matrix& a, const Matrix& b, Op op, double alpha
 // NR-column strips, both over the full depth k and zero-padded to the tile.
 // The buffers are thread_local so repeated products reuse the same pages
 // instead of paying an mmap + page-fault + zero cycle per call (they are
-// fully overwritten for the region in use each time).
+// fully overwritten for the region in use each time). T = double is the
+// bit-exact fp64 engine (static_cast<double>(double) is the identity);
+// T = float packs the mixed-precision strips.
+template <typename T>
 struct Packed {
-  std::vector<double> a, b;
+  std::vector<T> a, b;
 };
 
-Packed& pack_operands(const Matrix& a, const Matrix& b, Op op, std::size_t m, std::size_t n,
-                      std::size_t k) {
-  thread_local Packed pk;
+template <typename T>
+Packed<T>& pack_operands(const Matrix& a, const Matrix& b, Op op, std::size_t m,
+                         std::size_t n, std::size_t k) {
+  thread_local Packed<T> pk;
   const std::size_t a_strips = (m + MR - 1) / MR;
   const std::size_t b_strips = (n + NR - 1) / NR;
   if (pk.a.size() < a_strips * MR * k) pk.a.resize(a_strips * MR * k);
   if (pk.b.size() < b_strips * NR * k) pk.b.resize(b_strips * NR * k);
   // Captured as plain pointers: a lambda body naming `pk` directly would
   // re-resolve the thread_local on the executing pool worker, not here.
-  double* const pka = pk.a.data();
-  double* const pkb = pk.b.data();
+  T* const pka = pk.a.data();
+  T* const pkb = pk.b.data();
   parallel_for(a_strips, [&, pka](std::size_t s) {
-    double* dst = pka + s * k * MR;
+    T* dst = pka + s * k * MR;
     const std::size_t rows = std::min(MR, m - s * MR);
     if (rows == MR) {
       for (std::size_t l = 0; l < k; ++l)
-        for (std::size_t r = 0; r < MR; ++r) dst[l * MR + r] = read_a(a, op, s * MR + r, l);
+        for (std::size_t r = 0; r < MR; ++r)
+          dst[l * MR + r] = static_cast<T>(read_a(a, op, s * MR + r, l));
     } else {
       for (std::size_t l = 0; l < k; ++l)
         for (std::size_t r = 0; r < MR; ++r)
-          dst[l * MR + r] = r < rows ? read_a(a, op, s * MR + r, l) : 0.0;
+          dst[l * MR + r] = r < rows ? static_cast<T>(read_a(a, op, s * MR + r, l)) : T(0);
     }
   });
   parallel_for(b_strips, [&, pkb](std::size_t s) {
-    double* dst = pkb + s * k * NR;
+    T* dst = pkb + s * k * NR;
     const std::size_t cols = std::min(NR, n - s * NR);
     if (cols == NR) {
       for (std::size_t l = 0; l < k; ++l)
-        for (std::size_t c = 0; c < NR; ++c) dst[l * NR + c] = read_b(b, op, l, s * NR + c);
+        for (std::size_t c = 0; c < NR; ++c)
+          dst[l * NR + c] = static_cast<T>(read_b(b, op, l, s * NR + c));
     } else {
       for (std::size_t l = 0; l < k; ++l)
         for (std::size_t c = 0; c < NR; ++c)
-          dst[l * NR + c] = c < cols ? read_b(b, op, l, s * NR + c) : 0.0;
+          dst[l * NR + c] = c < cols ? static_cast<T>(read_b(b, op, l, s * NR + c)) : T(0);
     }
   });
   return pk;
 }
 
 // One output tile: C[i0:i0+mc, j0:j0+nc] += alpha * (A B) restricted to the
-// tile, from the shared packed strips. Runs on a single task.
-void compute_tile(Matrix& c, const Packed& pk, double alpha, bool accumulate,
-                  std::size_t k, std::size_t m, std::size_t n, std::size_t i0,
-                  std::size_t mc, std::size_t j0, std::size_t nc) {
+// tile, from the shared packed strips. Runs on a single task. The micro-
+// kernel comes from the active backend; accumulators are fp64 either way.
+template <typename T>
+void compute_tile(const KernelOps& ops, Matrix& c, const Packed<T>& pk, double alpha,
+                  bool accumulate, std::size_t k, std::size_t m, std::size_t n,
+                  std::size_t i0, std::size_t mc, std::size_t j0, std::size_t nc) {
   for (std::size_t jr = 0; jr < nc; jr += NR) {
     const std::size_t cols = std::min(NR, n - (j0 + jr));
-    const double* bp = pk.b.data() + ((j0 + jr) / NR) * k * NR;
+    const T* bp = pk.b.data() + ((j0 + jr) / NR) * k * NR;
     for (std::size_t ir = 0; ir < mc; ir += MR) {
       const std::size_t rows = std::min(MR, m - (i0 + ir));
-      const double* ap = pk.a.data() + ((i0 + ir) / MR) * k * MR;
+      const T* ap = pk.a.data() + ((i0 + ir) / MR) * k * MR;
       double acc[MR][NR];
-      micro_kernel(ap, bp, k, acc);
+      if constexpr (std::is_same_v<T, float>)
+        ops.gemm_f32(ap, bp, k, &acc[0][0]);
+      else
+        ops.gemm_f64(ap, bp, k, &acc[0][0]);
       for (std::size_t r = 0; r < rows; ++r) {
         double* crow = c.row_ptr(i0 + ir + r) + j0 + jr;
         if (accumulate) {
@@ -218,9 +183,11 @@ void compute_tile(Matrix& c, const Packed& pk, double alpha, bool accumulate,
 
 // C += alpha op(A) op(B) (or C = alpha op(A) op(B) when accumulate is
 // false: a fresh zero C need not be re-read). Dispatch depends only on the
-// shapes.
+// shapes and the requested precision. Products below the packing threshold
+// take the fp64 naive path even in mixed mode: the fp32 win is bandwidth,
+// and there is none to save on a product that fits in cache.
 void gemm_add(Matrix& c, const Matrix& a, const Matrix& b, Op op, double alpha,
-              bool accumulate = true) {
+              bool accumulate = true, Precision precision = Precision::kFp64) {
   const std::size_t m = c.rows(), n = c.cols();
   const std::size_t k = op == Op::TN ? a.rows() : a.cols();
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
@@ -228,14 +195,20 @@ void gemm_add(Matrix& c, const Matrix& a, const Matrix& b, Op op, double alpha,
     gemm_naive(c, a, b, op, alpha, m, n, k);
     return;
   }
-  const Packed& pk = pack_operands(a, b, op, m, n, k);
+  const KernelOps& ops = kernel_ops();
   const std::size_t mt = (m + TILE_M - 1) / TILE_M;
   const std::size_t nt = (n + TILE_N - 1) / TILE_N;
-  parallel_for(mt * nt, [&](std::size_t t) {
-    const std::size_t i0 = (t / nt) * TILE_M, j0 = (t % nt) * TILE_N;
-    compute_tile(c, pk, alpha, accumulate, k, m, n, i0, std::min(TILE_M, m - i0), j0,
-                 std::min(TILE_N, n - j0));
-  });
+  const auto run_tiles = [&](const auto& pk) {
+    parallel_for(mt * nt, [&](std::size_t t) {
+      const std::size_t i0 = (t / nt) * TILE_M, j0 = (t % nt) * TILE_N;
+      compute_tile(ops, c, pk, alpha, accumulate, k, m, n, i0, std::min(TILE_M, m - i0),
+                   j0, std::min(TILE_N, n - j0));
+    });
+  };
+  if (precision == Precision::kMixed)
+    run_tiles(pack_operands<float>(a, b, op, m, n, k));
+  else
+    run_tiles(pack_operands<double>(a, b, op, m, n, k));
 }
 
 }  // namespace
@@ -276,6 +249,25 @@ void matmul_nt_add(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
   gemm_add(c, a, b, Op::NT, alpha);
 }
 
+Matrix matmul_mixed(const Matrix& a, const Matrix& b) {
+  SUBSPAR_REQUIRE(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  gemm_add(c, a, b, Op::NN, 1.0, /*accumulate=*/false, Precision::kMixed);
+  return c;
+}
+
+Matrix matmul_tn_mixed(const Matrix& a, const Matrix& b) {
+  SUBSPAR_REQUIRE(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  gemm_add(c, a, b, Op::TN, 1.0, /*accumulate=*/false, Precision::kMixed);
+  return c;
+}
+
+void matmul_add_mixed(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  SUBSPAR_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols());
+  gemm_add(c, a, b, Op::NN, alpha, /*accumulate=*/true, Precision::kMixed);
+}
+
 Matrix gram_tn(const Matrix& a) {
   const std::size_t n = a.cols(), k = a.rows();
   Matrix c(n, n);
@@ -285,15 +277,16 @@ Matrix gram_tn(const Matrix& a) {
   } else {
     // Only tiles on or above the diagonal; the strict lower triangle is
     // mirrored afterwards so the result is exactly symmetric.
-    const Packed& pk = pack_operands(a, a, Op::TN, n, n, k);
+    const KernelOps& ops = kernel_ops();
+    const Packed<double>& pk = pack_operands<double>(a, a, Op::TN, n, n, k);
     const std::size_t nt = (n + TILE_N - 1) / TILE_N;
     std::vector<std::pair<std::size_t, std::size_t>> tiles;
     for (std::size_t ti = 0; ti < nt; ++ti)
       for (std::size_t tj = ti; tj < nt; ++tj) tiles.emplace_back(ti, tj);
     parallel_for(tiles.size(), [&](std::size_t t) {
       const std::size_t i0 = tiles[t].first * TILE_N, j0 = tiles[t].second * TILE_N;
-      compute_tile(c, pk, 1.0, /*accumulate=*/false, k, n, n, i0, std::min(TILE_N, n - i0),
-                   j0, std::min(TILE_N, n - j0));
+      compute_tile(ops, c, pk, 1.0, /*accumulate=*/false, k, n, n, i0,
+                   std::min(TILE_N, n - i0), j0, std::min(TILE_N, n - j0));
     });
   }
   for (std::size_t i = 0; i < n; ++i)

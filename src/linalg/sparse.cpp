@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/backend.hpp"
 #include "linalg/reorder.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -93,6 +94,7 @@ Matrix SparseMatrix::apply_many(const Matrix& x) const {
   const std::size_t k = x.cols();
   Matrix y(rows_, k);
   if (k == 0 || rows_ == 0) return y;
+  const KernelOps& ops = kernel_ops();
   const std::size_t chunks = (rows_ + kSpmmRowChunk - 1) / kSpmmRowChunk;
   parallel_for(chunks, [&](std::size_t t) {
     const std::size_t i0 = t * kSpmmRowChunk;
@@ -100,16 +102,14 @@ Matrix SparseMatrix::apply_many(const Matrix& x) const {
     for (std::size_t i = i0; i < i1; ++i) {
       double* yrow = y.row_ptr(i);
       const std::size_t e0 = rowptr_[i], e1 = rowptr_[i + 1];
-      // Scalar reduction per (row, column) in ascending entry order — the
-      // same operation sequence (incl. FMA contraction) as apply(), so the
-      // batched result is bit-identical to k single applies. The row's
-      // entries stay in L1 across the k columns: one effective traversal
-      // of A feeds the whole block.
-      for (std::size_t j = 0; j < k; ++j) {
-        double s = 0.0;
-        for (std::size_t e = e0; e < e1; ++e) s += val_[e] * x.row_ptr(colidx_[e])[j];
-        yrow[j] = s;
-      }
+      // Reduction per (row, column) in ascending entry order — under the
+      // scalar backend the same operation sequence (incl. FMA contraction)
+      // as apply(), so the batched result is bit-identical to k single
+      // applies; SIMD backends vectorize across columns, keeping the
+      // per-element entry order. The row's entries stay in L1 across the k
+      // columns: one effective traversal of A feeds the whole block.
+      ops.spmm_row_f64(val_.data() + e0, colidx_.data() + e0, e1 - e0, x.row_ptr(0),
+                       k, yrow, k);
     }
   });
   return y;
@@ -120,20 +120,47 @@ Matrix SparseMatrix::apply_t_many(const Matrix& x) const {
   const std::size_t k = x.cols();
   Matrix y(cols_, k);
   if (k == 0 || cols_ == 0) return y;
+  const KernelOps& ops = kernel_ops();
   const std::size_t chunks = (k + kSpmmColChunk - 1) / kSpmmColChunk;
   parallel_for(chunks, [&](std::size_t t) {
     const std::size_t j0 = t * kSpmmColChunk;
     const std::size_t j1 = std::min(k, j0 + kSpmmColChunk);
     for (std::size_t i = 0; i < rows_; ++i) {
-      const double* xrow = x.row_ptr(i);
-      for (std::size_t e = rowptr_[i]; e < rowptr_[i + 1]; ++e) {
-        const double v = val_[e];
-        double* yrow = y.row_ptr(colidx_[e]);
-        // The per-element zero skip mirrors apply_t()'s row skip exactly
-        // (bit-identical even through signed-zero accumulation).
-        for (std::size_t j = j0; j < j1; ++j)
-          if (xrow[j] != 0.0) yrow[j] += v * xrow[j];
-      }
+      // The scalar backend's kernel keeps the per-element zero skip that
+      // mirrors apply_t()'s row skip exactly (bit-identical even through
+      // signed-zero accumulation); SIMD backends add the v * 0.0 terms,
+      // which can only flip a signed zero.
+      const std::size_t e0 = rowptr_[i], e1 = rowptr_[i + 1];
+      ops.spmm_t_row_f64(val_.data() + e0, colidx_.data() + e0, e1 - e0, x.row_ptr(i),
+                         j0, j1, y.row_ptr(0), k);
+    }
+  });
+  return y;
+}
+
+SparseMirrorF32::SparseMirrorF32(const SparseMatrix& a)
+    : rows_(a.rows_), cols_(a.cols_), rowptr_(a.rowptr_) {
+  SUBSPAR_REQUIRE(a.cols_ < (std::size_t{1} << 32));
+  colidx_.reserve(a.colidx_.size());
+  val_.reserve(a.val_.size());
+  for (std::size_t c : a.colidx_) colidx_.push_back(static_cast<std::uint32_t>(c));
+  for (double v : a.val_) val_.push_back(static_cast<float>(v));
+}
+
+Matrix SparseMirrorF32::apply_many(const Matrix& x) const {
+  SUBSPAR_REQUIRE(x.rows() == cols_);
+  const std::size_t k = x.cols();
+  Matrix y(rows_, k);
+  if (k == 0 || rows_ == 0) return y;
+  const KernelOps& ops = kernel_ops();
+  const std::size_t chunks = (rows_ + kSpmmRowChunk - 1) / kSpmmRowChunk;
+  parallel_for(chunks, [&](std::size_t t) {
+    const std::size_t i0 = t * kSpmmRowChunk;
+    const std::size_t i1 = std::min(rows_, i0 + kSpmmRowChunk);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t e0 = rowptr_[i], e1 = rowptr_[i + 1];
+      ops.spmm_row_f32(val_.data() + e0, colidx_.data() + e0, e1 - e0, x.row_ptr(0), k,
+                       y.row_ptr(i), k);
     }
   });
   return y;

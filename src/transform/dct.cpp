@@ -23,16 +23,25 @@ DctPlan::DctPlan(std::size_t n) : n_(n), fast_(is_power_of_two(n) && n > 1) {
     (void)fft_plan(n);  // warm the FFT plan for this thread
     tw_cos_.resize(n);
     tw_sin_.resize(n);
+    tw_cos_f_.resize(n);
+    tw_sin_f_.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
       const double ang = -kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
       tw_cos_[k] = std::cos(ang);
       tw_sin_[k] = std::sin(ang);
+      tw_cos_f_[k] = static_cast<float>(tw_cos_[k]);
+      tw_sin_f_[k] = static_cast<float>(tw_sin_[k]);
     }
     scratch_.resize(n);
   } else {
     // Dense orthonormal DCT-II matrix, row-major: one trigonometric table
-    // instead of O(N^2) cos calls per transform.
+    // instead of O(N^2) cos calls per transform. The transpose gives dct3
+    // contiguous rows (a plain dot per output), and the fp32 mirrors feed
+    // the kMixed path.
     dense_.resize(n * n);
+    dense_t_.resize(n * n);
+    dense_f_.resize(n * n);
+    dense_t_f_.resize(n * n);
     for (std::size_t k = 0; k < n; ++k) {
       const double s = k == 0 ? s0_ : sk_;
       for (std::size_t j = 0; j < n; ++j)
@@ -40,18 +49,27 @@ DctPlan::DctPlan(std::size_t n) : n_(n), fast_(is_power_of_two(n) && n > 1) {
                                          (2.0 * static_cast<double>(j) + 1.0) /
                                          (2.0 * static_cast<double>(n)));
     }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dense_t_[j * n + k] = dense_[k * n + j];
+        dense_f_[k * n + j] = static_cast<float>(dense_[k * n + j]);
+        dense_t_f_[j * n + k] = static_cast<float>(dense_[k * n + j]);
+      }
+    }
   }
 }
 
-void DctPlan::dct2(double* x) const {
+void DctPlan::dct2(double* x, Precision precision) const {
   const std::size_t n = n_;
+  const KernelOps& ops = kernel_ops();
   if (!fast_) {
+    // Dense rows are contiguous: one backend dot per output (the scalar
+    // backend's dot is the original ascending-j loop, bit for bit).
     std::vector<double> y(n, 0.0);
-    for (std::size_t k = 0; k < n; ++k) {
-      double s = 0.0;
-      const double* row = dense_.data() + k * n;
-      for (std::size_t j = 0; j < n; ++j) s += row[j] * x[j];
-      y[k] = s;
+    if (precision == Precision::kMixed) {
+      for (std::size_t k = 0; k < n; ++k) y[k] = ops.dot_f32(dense_f_.data() + k * n, x, n);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) y[k] = ops.dot_f64(dense_.data() + k * n, x, n);
     }
     for (std::size_t k = 0; k < n; ++k) x[k] = y[k];
     return;
@@ -63,34 +81,40 @@ void DctPlan::dct2(double* x) const {
     v[n - 1 - j] = Complex(x[2 * j + 1], 0.0);
   }
   fft_plan(n).forward(v);
-  x[0] = v[0].real() * s0_;
-  for (std::size_t k = 1; k < n; ++k)
-    x[k] = (tw_cos_[k] * v[k].real() - tw_sin_[k] * v[k].imag()) * sk_;
+  // Post-twiddle on the backend; std::complex<double> is array-compatible
+  // with interleaved (re, im) doubles by the standard's layout guarantee.
+  const double* vd = reinterpret_cast<const double*>(v);
+  if (precision == Precision::kMixed)
+    ops.dct2_post_f32(tw_cos_f_.data(), tw_sin_f_.data(), vd, x, n, s0_, sk_);
+  else
+    ops.dct2_post_f64(tw_cos_.data(), tw_sin_.data(), vd, x, n, s0_, sk_);
 }
 
-void DctPlan::dct3(double* x) const {
+void DctPlan::dct3(double* x, Precision precision) const {
   const std::size_t n = n_;
+  const KernelOps& ops = kernel_ops();
   if (!fast_) {
+    // dct3 is the transpose product; dense_t_ makes each output a
+    // contiguous dot in the original ascending-k accumulation order.
     std::vector<double> y(n, 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < n; ++k) s += dense_[k * n + j] * x[k];
-      y[j] = s;
+    if (precision == Precision::kMixed) {
+      for (std::size_t j = 0; j < n; ++j) y[j] = ops.dot_f32(dense_t_f_.data() + j * n, x, n);
+    } else {
+      for (std::size_t j = 0; j < n; ++j) y[j] = ops.dot_f64(dense_t_.data() + j * n, x, n);
     }
     for (std::size_t j = 0; j < n; ++j) x[j] = y[j];
     return;
   }
+  // Pre-twiddle on the backend: V_k = e^{+i pi k / 2N} (C_k - i C_{N-k});
+  // the conjugate-symmetry of the FFT of the real permuted sequence gives
+  // C_{N-k} = -Im(e^{-i pi k/2N} V_k). e^{+i a} has cos = tw_cos,
+  // sin = -tw_sin.
   Complex* v = scratch_.data();
-  v[0] = Complex(x[0] / s0_, 0.0);
-  for (std::size_t k = 1; k < n; ++k) {
-    // V_k = e^{+i pi k / 2N} (C_k - i C_{N-k}); the conjugate-symmetry of
-    // the FFT of the real permuted sequence gives C_{N-k} =
-    // -Im(e^{-i pi k/2N} V_k). e^{+i a} has cos = tw_cos, sin = -tw_sin.
-    const double ck = x[k] / sk_;
-    const double cnk = x[n - k] / sk_;
-    const double c = tw_cos_[k], s = -tw_sin_[k];
-    v[k] = Complex(c * ck + s * cnk, s * ck - c * cnk);
-  }
+  double* vd = reinterpret_cast<double*>(v);
+  if (precision == Precision::kMixed)
+    ops.dct3_pre_f32(tw_cos_f_.data(), tw_sin_f_.data(), x, vd, n, s0_, sk_);
+  else
+    ops.dct3_pre_f64(tw_cos_.data(), tw_sin_.data(), x, vd, n, s0_, sk_);
   fft_plan(n).inverse(v);
   for (std::size_t j = 0; j < n / 2; ++j) {
     x[2 * j] = v[j].real();
@@ -152,50 +176,54 @@ namespace {
 
 // One grid: rows through the length-`cols` plan in place, columns gathered
 // through the length-`rows` plan. No per-row allocation; one column buffer.
-void separable_2d_planned(double* a, std::size_t rows, std::size_t cols, bool forward) {
+void separable_2d_planned(double* a, std::size_t rows, std::size_t cols, bool forward,
+                          Precision precision) {
   const DctPlan& row_plan = dct_plan(cols);
   const DctPlan& col_plan = dct_plan(rows);
   for (std::size_t i = 0; i < rows; ++i) {
     double* row = a + i * cols;
-    forward ? row_plan.dct2(row) : row_plan.dct3(row);
+    forward ? row_plan.dct2(row, precision) : row_plan.dct3(row, precision);
   }
   std::vector<double> colbuf(rows);
   for (std::size_t j = 0; j < cols; ++j) {
     for (std::size_t i = 0; i < rows; ++i) colbuf[i] = a[i * cols + j];
-    forward ? col_plan.dct2(colbuf.data()) : col_plan.dct3(colbuf.data());
+    forward ? col_plan.dct2(colbuf.data(), precision)
+            : col_plan.dct3(colbuf.data(), precision);
     for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = colbuf[i];
   }
 }
 
 void separable_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
-                       std::size_t batch, bool forward) {
+                       std::size_t batch, bool forward, Precision precision) {
   SUBSPAR_REQUIRE(a.size() == batch * rows * cols);
   const std::size_t grid = rows * cols;
   parallel_for(batch, [&](std::size_t b) {
-    separable_2d_planned(a.data() + b * grid, rows, cols, forward);
+    separable_2d_planned(a.data() + b * grid, rows, cols, forward, precision);
   });
 }
 
 }  // namespace
 
-void dct2_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
+void dct2_2d(std::vector<double>& a, std::size_t rows, std::size_t cols,
+             Precision precision) {
   SUBSPAR_REQUIRE(a.size() == rows * cols);
-  separable_2d_planned(a.data(), rows, cols, /*forward=*/true);
+  separable_2d_planned(a.data(), rows, cols, /*forward=*/true, precision);
 }
 
-void dct3_2d(std::vector<double>& a, std::size_t rows, std::size_t cols) {
+void dct3_2d(std::vector<double>& a, std::size_t rows, std::size_t cols,
+             Precision precision) {
   SUBSPAR_REQUIRE(a.size() == rows * cols);
-  separable_2d_planned(a.data(), rows, cols, /*forward=*/false);
+  separable_2d_planned(a.data(), rows, cols, /*forward=*/false, precision);
 }
 
 void dct2_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
-                  std::size_t batch) {
-  separable_2d_many(a, rows, cols, batch, /*forward=*/true);
+                  std::size_t batch, Precision precision) {
+  separable_2d_many(a, rows, cols, batch, /*forward=*/true, precision);
 }
 
 void dct3_2d_many(std::vector<double>& a, std::size_t rows, std::size_t cols,
-                  std::size_t batch) {
-  separable_2d_many(a, rows, cols, batch, /*forward=*/false);
+                  std::size_t batch, Precision precision) {
+  separable_2d_many(a, rows, cols, batch, /*forward=*/false, precision);
 }
 
 }  // namespace subspar

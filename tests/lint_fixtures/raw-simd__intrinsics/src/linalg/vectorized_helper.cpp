@@ -1,0 +1,20 @@
+// Known-bad fixture: raw SIMD outside the kernel-backend family. Each of
+// these must trip the raw-simd rule — hand-rolled intrinsics in ordinary
+// module code bypass the CPUID gate in linalg/backend.cpp and make the
+// binary silently non-portable.
+#include <immintrin.h>
+
+namespace subspar {
+
+typedef double Vec4d __attribute__((vector_size(32)));
+
+double sum4(const double* p) {
+  const __m256d v = _mm256_loadu_pd(p);
+  const Vec4d w = {p[0], p[1], p[2], p[3]};
+  const Vec4d b = __builtin_shufflevector(w, w, 1, 0, 3, 2);
+  __m128d lo = _mm256_castpd256_pd128(v);
+  (void)lo;
+  return b[0] + b[1] + b[2] + b[3];
+}
+
+}  // namespace subspar

@@ -27,6 +27,12 @@ Rules (scope: src/** and include/** unless noted):
                    anywhere in library code: the kernels pin bit-exact
                    results across thread counts (FMA contraction alone broke
                    this once — see linalg/sparse.cpp history).
+  raw-simd         SIMD intrinsics headers, GCC vector extensions
+                   (vector_size), and vector builtins may appear only in the
+                   kernel-backend family (src/linalg/backend*) and transform
+                   backend TUs. Everything else reaches vectorized code
+                   through linalg/backend.hpp's KernelOps dispatch, so one
+                   CPUID gate governs every ISA-specific instruction.
   layering         Lower-layer modules (util, linalg, transform, geometry,
                    substrate, wavelet, lowrank, circuit) must not include
                    api/ internals or the api-layer public headers
@@ -81,6 +87,19 @@ FAST_MATH = [
     (re.compile(r"#\s*pragma\s+(?:clang\s+fp|float_control|fp_contract)"),
      "floating-point contraction/model pragma"),
     (re.compile(r"#\s*pragma\s+GCC\s+optimize"), "#pragma GCC optimize"),
+]
+
+RAW_SIMD = [
+    (re.compile(r"#\s*include\s*<(?:immintrin|x86intrin|xmmintrin|emmintrin|"
+                r"smmintrin|tmmintrin|nmmintrin|wmmintrin|avxintrin|"
+                r"arm_neon|arm_sve)\.h>"),
+     "SIMD intrinsics header"),
+    (re.compile(r"\bvector_size\b"), "GCC vector_size extension"),
+    (re.compile(r"\b_mm(?:256|512)?_\w+"), "x86 SIMD intrinsic"),
+    (re.compile(r"\bfloat(?:32|64)x\d+_t\b|\bv(?:ld|st)1q?_f(?:32|64)\b"),
+     "NEON intrinsic"),
+    (re.compile(r"__builtin_(?:shufflevector|convertvector|assoc_barrier)\b"),
+     "vector builtin"),
 ]
 
 LOWER_LAYERS = ("util", "linalg", "transform", "geometry", "substrate",
@@ -176,8 +195,20 @@ def scan_file(root: Path, path: Path) -> list[Violation]:
                    f"{what} in bit-exact library code: kernels must stay "
                    "bit-identical across thread counts and builds")
 
-    # --- layering / public-header ----------------------------------------
+    # --- raw-simd ---------------------------------------------------------
     parts = rel.parts
+    backend_tu = (len(parts) >= 3 and parts[0] == "src" and
+                  ((parts[1] == "linalg" and parts[2].startswith("backend")) or
+                   (parts[1] == "transform" and "backend" in parts[2])))
+    if not backend_tu:
+        for pattern, what in RAW_SIMD:
+            for m in pattern.finditer(code):
+                report("raw-simd", m.start(),
+                       f"{what} outside the kernel backend: vectorized code "
+                       "goes through linalg/backend.hpp's KernelOps dispatch "
+                       "(src/linalg/backend*)")
+
+    # --- layering / public-header ----------------------------------------
     for m in INCLUDE_RE.finditer(headers):
         header = m.group(1)
         if parts[0] == "src" and len(parts) > 1 and parts[1] != "api":
@@ -211,7 +242,8 @@ def lint_tree(root: Path) -> list[Violation]:
     for sub in ("src", "include"):
         base = root / sub
         if base.is_dir():
-            files += sorted(base.rglob("*.hpp")) + sorted(base.rglob("*.cpp"))
+            files += (sorted(base.rglob("*.hpp")) + sorted(base.rglob("*.cpp"))
+                      + sorted(base.rglob("*.inl")))
     if not files:
         raise SystemExit(f"subspar_lint: no sources under {root}/src,include")
     for path in files:
